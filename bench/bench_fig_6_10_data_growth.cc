@@ -1,0 +1,74 @@
+// Figures 6-10 and 6-11: data growth (MB/h) by data center, and the volume
+// to be transferred during the SYNCHREP pull/push phases to/from D_NA.
+#include "bench_util.h"
+
+using namespace gdisim;
+
+int main() {
+  bench::header("Data growth and SYNCHREP transfer volumes",
+                "Figures 6-10 / 6-11 (MB per hour / per 15-min run)");
+  GlobalOptions opt;
+  opt.scale = 0.10;
+  Scenario scenario = make_consolidated_scenario(opt);
+
+  std::cout << "\nData growth (MB/h) by data center (Figure 6-10):\n";
+  {
+    std::vector<std::string> headers{"Hour"};
+    for (int d = 0; d < 7; ++d) headers.push_back(kGlobalDcNames[d]);
+    headers.push_back("Global");
+    TableReport t(headers);
+    for (int h = 0; h < 24; h += 2) {
+      std::vector<std::string> row{std::to_string(h) + ":00"};
+      double total = 0.0;
+      for (DcId d = 0; d < 7; ++d) {
+        const double v = scenario.growth.rate_mb_per_hour(d, h);
+        total += v;
+        row.push_back(TableReport::fmt(v, 0));
+      }
+      row.push_back(TableReport::fmt(total, 0));
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nPull/Push volumes per 15-min SYNCHREP run to/from D_NA (Figure 6-11):\n";
+  {
+    std::vector<std::string> headers{"Hour"};
+    for (int d = 1; d < 7; ++d) headers.push_back(std::string(kGlobalDcNames[d]) + " pull");
+    for (int d = 1; d < 7; ++d) headers.push_back(std::string(kGlobalDcNames[d]) + " push");
+    headers.push_back("Total");
+    TableReport t(headers);
+    double peak_total = 0.0;
+    for (int h = 0; h < 24; h += 2) {
+      std::vector<std::string> row{std::to_string(h) + ":00"};
+      const double h0 = h, h1 = h + 0.25;
+      double new_mb[7];
+      double total_new = 0.0;
+      for (DcId d = 0; d < 7; ++d) {
+        new_mb[d] = scenario.growth.generated_mb(d, h0, h1);
+        total_new += new_mb[d];
+      }
+      double run_total = 0.0;
+      for (DcId d = 1; d < 7; ++d) {
+        row.push_back(TableReport::fmt(new_mb[d], 0));
+        run_total += new_mb[d];
+      }
+      for (DcId d = 1; d < 7; ++d) {
+        const double push = total_new - new_mb[d];
+        row.push_back(TableReport::fmt(push, 0));
+        run_total += push;
+      }
+      peak_total = std::max(peak_total, run_total);
+      row.push_back(TableReport::fmt(run_total, 0));
+      t.add_row(row);
+    }
+    t.print(std::cout);
+    std::cout << "peak pull+push per run: " << TableReport::fmt(peak_total, 0)
+              << " MB (thesis at full scale: ~14250 MB; scaled target ~"
+              << TableReport::fmt(14250 * opt.scale, 0) << ")\n";
+  }
+  bench::footnote(
+      "Shape: volumes peak during 12:00-15:00 GMT when NA and EU overlap; NA "
+      "and EU dominate generation, so their pushes dominate the WAN load.");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figures 7-4 and 7-5: pull/push volumes per SYNCHREP run to/from D_NA and
+// D_EU in the multiple-master infrastructure, and the headline reduction of
+// D_NA's peak volume vs the consolidated infrastructure (~43%).
+#include "bench_util.h"
+
+using namespace gdisim;
+
+namespace {
+
+double peak_run_volume(const AccessPatternMatrix& apm, const DataGrowthModel& growth,
+                       DcId home, bool apply_apm, TableReport* table) {
+  double peak = 0.0;
+  for (int h = 0; h < 24; h += 2) {
+    const double h0 = h, h1 = h + 0.25;
+    double new_mb[7];
+    double total_new = 0.0;
+    for (DcId d = 0; d < 7; ++d) {
+      const double frac = apply_apm ? owned_growth_fraction(apm, d, home) : 1.0;
+      new_mb[d] = growth.generated_mb(d, h0, h1) * frac;
+      total_new += new_mb[d];
+    }
+    double pull = 0.0, push = 0.0;
+    for (DcId d = 0; d < 7; ++d) {
+      if (d != home) pull += new_mb[d];
+    }
+    for (DcId d = 0; d < 7; ++d) {
+      if (d != home) push += total_new - new_mb[d];
+    }
+    peak = std::max(peak, pull + push);
+    if (table != nullptr) {
+      table->add_row({std::to_string(h) + ":00", TableReport::fmt(pull, 0),
+                      TableReport::fmt(push, 0), TableReport::fmt(pull + push, 0)});
+    }
+  }
+  return peak;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Multiple-master SYNCHREP transfer volumes",
+                "Figures 7-4 (D_NA) / 7-5 (D_EU); headline ~43% reduction");
+  GlobalOptions opt;
+  opt.scale = 0.10;
+  Scenario mm = make_multimaster_scenario(opt);
+
+  std::cout << "\nD_NA pull/push per 15-min run (Figure 7-4):\n";
+  TableReport tna({"Hour", "Pull (MB)", "Push (MB)", "Total (MB)"});
+  const double na_peak = peak_run_volume(mm.apm, mm.growth, 0, true, &tna);
+  tna.print(std::cout);
+
+  std::cout << "\nD_EU pull/push per 15-min run (Figure 7-5):\n";
+  TableReport teu({"Hour", "Pull (MB)", "Push (MB)", "Total (MB)"});
+  const double eu_peak = peak_run_volume(mm.apm, mm.growth, 1, true, &teu);
+  teu.print(std::cout);
+
+  const double single_peak =
+      peak_run_volume(mm.apm, mm.growth, 0, /*apply_apm=*/false, nullptr);
+  std::cout << "\nPeak per-run volume, D_NA single-master: " << TableReport::fmt(single_peak, 0)
+            << " MB\n"
+            << "Peak per-run volume, D_NA multiple-master: " << TableReport::fmt(na_peak, 0)
+            << " MB (reduction " << TableReport::pct(1.0 - na_peak / single_peak)
+            << ", thesis ~43%)\n"
+            << "Peak per-run volume, D_EU multiple-master: " << TableReport::fmt(eu_peak, 0)
+            << " MB\n";
+  bench::footnote(
+      "Shape: each master now moves only its owned subset; NA's peak volume "
+      "drops to roughly 55-60% of the single-master volume, and EU carries "
+      "the second-largest share.");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared helpers for the per-table/per-figure bench binaries.
+#pragma once
+
+#include <chrono>
+#include <thread>
+#include <iostream>
+#include <string>
+
+#include "metrics/report.h"
+#include "sim/gdisim.h"
+
+namespace gdisim::bench {
+
+/// Wall-clock stopwatch for reporting bench runtimes.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "==============================================================\n";
+}
+
+inline void footnote(const std::string& note) {
+  std::cout << "\nNOTE: " << note << "\n\n";
+}
+
+/// Environment knob: GDISIM_BENCH_FAST=1 shrinks simulated horizons so the
+/// whole bench suite finishes quickly in CI; default runs the full windows.
+inline bool fast_mode() {
+  const char* v = std::getenv("GDISIM_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+inline std::size_t bench_threads() {
+  const char* v = std::getenv("GDISIM_BENCH_THREADS");
+  if (v != nullptr) return static_cast<std::size_t>(std::atoi(v));
+  // Default to the host's spare parallelism; 0 => run phases inline.
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 0;
+}
+
+}  // namespace gdisim::bench

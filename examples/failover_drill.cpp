@@ -1,0 +1,103 @@
+// Failure drill (thesis motivation: "Continuous Failure"; Figure 1-1
+// applications #4 network administration and #7 attack protection):
+// run the consolidated infrastructure through the peak window while the
+// NA->AS1 trunk fails, verify that the EU backup links absorb the traffic,
+// and quantify the client-experience impact in the affected regions.
+//
+//   ./build/examples/failover_drill [scale=0.05]
+#include <cstdlib>
+#include <iostream>
+
+#include "resilience/failure.h"
+#include "sim/gdisim.h"
+
+using namespace gdisim;
+
+namespace {
+
+struct DrillResult {
+  double explore_aus_s = 0.0;
+  double backup_util = 0.0;
+  double primary_util = 0.0;
+  std::vector<AppliedFailure> events;
+};
+
+DrillResult run(bool with_failure, double scale) {
+  GlobalOptions opt;
+  opt.scale = scale;
+  Scenario scenario = make_consolidated_scenario(opt);
+  Topology& topo = *scenario.topology;
+  const DcId na = topo.find_dc("NA");
+  const DcId eu = topo.find_dc("EU");
+  const DcId as1 = topo.find_dc("AS1");
+
+  SimulatorConfig cfg;
+  cfg.collect_every_s = 30.0;
+  GdiSimulator sim(std::move(scenario), cfg);
+
+  FailureInjector injector(topo);
+  if (with_failure) {
+    // 13:30 GMT: the NA->AS1 trunk goes dark both ways; operators activate
+    // the EU backup path. 15:30: the trunk is repaired.
+    const double failure_at = 13.5 * 3600.0;
+    const double repair_at = 15.5 * 3600.0;
+    injector.schedule(FailureEvent::link_down(failure_at, na, as1));
+    injector.schedule(FailureEvent::link_down(failure_at, as1, na));
+    injector.schedule(FailureEvent::link_up(failure_at, eu, as1));
+    injector.schedule(FailureEvent::link_up(failure_at, as1, eu));
+    injector.schedule(FailureEvent::link_up(repair_at, na, as1));
+    injector.schedule(FailureEvent::link_up(repair_at, as1, na));
+    injector.schedule(FailureEvent::link_down(repair_at, eu, as1));
+    injector.schedule(FailureEvent::link_down(repair_at, as1, eu));
+  }
+  injector.install(sim.loop());
+
+  sim.run_for(12.0 * 3600.0);  // warm to noon
+  sim.run_for(5.0 * 3600.0);   // through the failure window
+
+  DrillResult r;
+  ClientPopulation* aus = sim.scenario().population("CAD@AUS");
+  if (aus != nullptr && aus->stats().count("CAD.EXPLORE")) {
+    r.explore_aus_s = aus->stats().at("CAD.EXPLORE").mean();
+  }
+  const double t0 = 13.5 * 3600.0, t1 = 15.5 * 3600.0;
+  if (const TimeSeries* s = sim.collector().find("net/EU->AS1")) {
+    r.backup_util = s->mean_between(t0, t1);
+  }
+  if (const TimeSeries* s = sim.collector().find("net/NA->AS1")) {
+    r.primary_util = s->mean_between(t0, t1);
+  }
+  r.events = injector.applied();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+  std::cout << "Failover drill: NA<->AS1 trunk outage 13:30-15:30 GMT\n"
+            << "(scale=" << scale << ")\n\n";
+
+  const DrillResult healthy = run(false, scale);
+  const DrillResult drill = run(true, scale);
+
+  std::cout << "Applied events:\n";
+  for (const auto& e : drill.events) {
+    std::cout << "  t=" << format_sim_time(e.at_seconds) << "  " << e.description << "\n";
+  }
+
+  TableReport t({"metric", "healthy", "during drill"});
+  t.add_row({"NA->AS1 util (13:30-15:30)", TableReport::pct(healthy.primary_util),
+             TableReport::pct(drill.primary_util)});
+  t.add_row({"EU->AS1 backup util (13:30-15:30)", TableReport::pct(healthy.backup_util),
+             TableReport::pct(drill.backup_util)});
+  t.add_row({"CAD EXPLORE mean from AUS (s)", TableReport::fmt(healthy.explore_aus_s),
+             TableReport::fmt(drill.explore_aus_s)});
+  std::cout << "\n";
+  t.print(std::cout);
+
+  std::cout << "\nDuring the outage, Asia/Pacific traffic rides NA->EU->AS1: the\n"
+               "backup link lights up, the dead trunk drains to ~0%, and AUS\n"
+               "clients pay one extra hop of latency until the repair.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// "What if" via workload replay (thesis Figure 1-1, applications #1 and #3):
+// record the live workload of an overloaded data center, then replay the
+// *identical* demand against candidate hardware upgrades and compare the
+// client experience — the cleanest apples-to-apples what-if methodology.
+//
+//   ./build/examples/whatif_replay
+#include <iostream>
+
+#include "sim/gdisim.h"
+#include "software/replay.h"
+
+using namespace gdisim;
+
+namespace {
+
+Scenario make_infra(unsigned app_servers, unsigned db_cores) {
+  InfrastructureBuilder builder(17);
+  DataCenterBlueprint dc;
+  dc.name = "DC";
+  dc.tiers[TierKind::App] = TierNotation{app_servers, 2, 32.0};
+  dc.tiers[TierKind::Db] = TierNotation{1, db_cores, 64.0};
+  dc.tiers[TierKind::Fs] = TierNotation{1, 4, 16.0};
+  dc.tiers[TierKind::Idx] = TierNotation{1, 4, 32.0};
+  dc.san = SanNotation{2, 24, 15000.0};
+  builder.add_datacenter(dc);
+
+  Scenario s;
+  s.tick_seconds = 0.02;
+  s.topology = builder.finish();
+  s.master_dc = 0;
+  s.ctx = std::make_unique<OperationContext>(*s.topology, 0);
+  s.catalog = std::make_unique<OperationCatalog>(OperationCatalog::standard());
+  return s;
+}
+
+struct ReplayResult {
+  double app_util = 0.0;
+  double explore_mean = 0.0;
+  double open_mean = 0.0;
+};
+
+ReplayResult replay_on(const WorkloadTrace& trace, unsigned app_servers, unsigned db_cores,
+                       double horizon_s) {
+  Scenario scenario = make_infra(app_servers, db_cores);
+  const TickClock clock(scenario.tick_seconds);
+  auto launcher =
+      std::make_unique<TraceLauncher>(trace, *scenario.catalog, *scenario.ctx, clock);
+  TraceLauncher* raw = launcher.get();
+
+  HDispatchEngine engine(0, 64);
+  SimulationLoop loop({scenario.tick_seconds, 0}, engine);
+  scenario.register_with(loop);
+  loop.add_agent(raw);
+
+  Collector collector(scenario.tick_seconds);
+  install_standard_probes(collector, scenario);
+  loop.set_collect_callback([&collector](Tick now) { collector.collect(now); });
+  // Manually set the collection cadence by sampling in the run loop.
+  const Tick collect_every = clock.to_ticks(6.0);
+  const Tick end = clock.to_ticks(horizon_s);
+  while (loop.now() < end) {
+    loop.step();
+    if (loop.now() % collect_every == 0) collector.collect(loop.now());
+  }
+
+  ReplayResult r;
+  r.app_util = collector.find("cpu/DC/app")->mean_between(60.0, horizon_s);
+  if (raw->stats().count("CAD.EXPLORE")) r.explore_mean = raw->stats().at("CAD.EXPLORE").mean();
+  if (raw->stats().count("CAD.OPEN")) r.open_mean = raw->stats().at("CAD.OPEN").mean();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Step 1: record 8 minutes of a 70-client CAD workload on the\n"
+               "baseline deployment (2 app servers)...\n";
+  WorkloadTrace trace;
+  {
+    Scenario scenario = make_infra(2, 8);
+    const TickClock clock(scenario.tick_seconds);
+    ClientPopulationConfig cfg;
+    cfg.name = "CAD@DC";
+    cfg.dc = 0;
+    cfg.curve = WorkloadCurve::constant(70.0);
+    cfg.mix = OperationMix::uniform(scenario.catalog->operations_of("CAD"));
+    cfg.think_time_mean_s = 25.0;
+    cfg.file_size_mb = 25.0;
+    cfg.seed = 23;
+    auto pop = std::make_unique<ClientPopulation>(cfg, *scenario.catalog, *scenario.ctx, clock);
+    pop->set_launch_recorder(trace.recorder());
+    HDispatchEngine engine(0, 64);
+    SimulationLoop loop({scenario.tick_seconds, 0}, engine);
+    scenario.register_with(loop);
+    loop.add_agent(pop.get());
+    loop.run_for_seconds(8.0 * 60.0);
+  }
+  trace.finalize();
+  std::cout << "   recorded " << trace.size() << " operation launches\n\n";
+
+  std::cout << "Step 2: replay the identical demand against candidate upgrades:\n\n";
+  TableReport t({"deployment", "app util", "EXPLORE mean (s)", "OPEN mean (s)"});
+  struct Candidate {
+    const char* label;
+    unsigned app_servers;
+    unsigned db_cores;
+  };
+  for (const Candidate c : {Candidate{"baseline: 2 app / 8 db-cores", 2, 8},
+                            Candidate{"upgrade A: 4 app / 8 db-cores", 4, 8},
+                            Candidate{"upgrade B: 2 app / 16 db-cores", 2, 16},
+                            Candidate{"upgrade C: 4 app / 16 db-cores", 4, 16}}) {
+    const ReplayResult r = replay_on(trace, c.app_servers, c.db_cores, 10.0 * 60.0);
+    t.add_row({c.label, TableReport::pct(r.app_util), TableReport::fmt(r.explore_mean),
+               TableReport::fmt(r.open_mean)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nBecause every row served the *same* recorded launches, the\n"
+               "differences are attributable purely to the hardware change —\n"
+               "no workload-sampling noise in the comparison.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "background/daemon.h"
+
+namespace gdisim {
+
+BackgroundDaemon::BackgroundDaemon(std::string name, DcId home_dc, OperationContext& ctx,
+                                   TickClock clock, std::uint64_t seed)
+    : home_dc_(home_dc), ctx_(&ctx), clock_(clock), rng_(Rng(seed).split(name)) {
+  set_name(std::move(name));
+}
+
+void BackgroundDaemon::launch_run(std::unique_ptr<CascadeSpec> spec, BackgroundRunRecord record,
+                                  Tick now) {
+  LaunchParams params;
+  params.origin_dc = home_dc_;
+  params.owner_dc = home_dc_;
+  params.size_mb = 0.0;
+  params.instance_serial = next_serial_++;
+  params.launcher_id = id();
+  params.rng_seed = stable_hash(name()) ^ (params.instance_serial * 0x9e3779b97f4a7c15ULL);
+
+  auto instance = std::make_unique<OperationInstance>(
+      *spec, *ctx_, params, [this](OperationInstance& inst, Tick end_tick) {
+        completions_.post(end_tick, id(), inst.params().instance_serial,
+                          CompletionMsg{&inst, end_tick});
+      });
+  OperationInstance* raw = instance.get();
+  live_.emplace(raw, LiveRun{std::move(spec), std::move(instance), std::move(record)});
+  raw->start(now);
+}
+
+std::size_t BackgroundDaemon::drain_completions(Tick now) {
+  std::size_t n = 0;
+  for (auto& d : completions_.drain_visible(now)) {
+    const CompletionMsg& msg = d.payload;
+    auto it = live_.find(msg.instance);
+    if (it == live_.end()) continue;
+    BackgroundRunRecord record = std::move(it->second.record);
+    record.duration_s = msg.instance->duration_seconds(clock_, msg.end_tick);
+    stats_.record(record.duration_s);
+    response_by_hour_.record(clock_.to_seconds(msg.end_tick) / 3600.0, record.duration_s);
+    // Move the live entry out before invoking the hook so re-entrant
+    // launches from the hook are safe.
+    LiveRun done = std::move(it->second);
+    live_.erase(it);
+    ledger_.record(record);
+    on_run_complete(record, msg.end_tick);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace gdisim

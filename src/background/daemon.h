@@ -1,0 +1,73 @@
+// Shared machinery for background-process daemons (thesis §6.4.3).
+//
+// A daemon is an agent that periodically launches a dynamically-built
+// cascade. Two scheduling policies exist:
+//   * fixed-interval (SYNCHREP): launch every dT regardless of overlap, so
+//     several runs may be in flight at once;
+//   * after-completion (INDEXBUILD): launch dT after the previous run
+//     finished, so exactly one run is in flight and backlog accumulates
+//     while it executes (the cumulative effect of Figure 6-14).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "background/file_catalog.h"
+#include "core/agent.h"
+#include "core/rng.h"
+#include "software/client.h"
+#include "software/operation.h"
+
+namespace gdisim {
+
+class BackgroundDaemon : public Agent {
+ public:
+  BackgroundDaemon(std::string name, DcId home_dc, OperationContext& ctx, TickClock clock,
+                   std::uint64_t seed);
+
+  const FreshnessLedger& ledger() const { return ledger_; }
+  const BinnedResponse& response_by_hour() const { return response_by_hour_; }
+  const OpStats& stats() const { return stats_; }
+  DcId home_dc() const { return home_dc_; }
+  std::size_t runs_in_flight() const { return live_.size(); }
+
+ protected:
+  /// Launches `spec` (ownership of the spec is retained until completion).
+  void launch_run(std::unique_ptr<CascadeSpec> spec, BackgroundRunRecord record, Tick now);
+
+  /// Drains completed runs; returns how many completed.
+  std::size_t drain_completions(Tick now);
+
+  /// Hook invoked (from the interaction phase) when a run completes.
+  virtual void on_run_complete(const BackgroundRunRecord& record, Tick end_tick) = 0;
+
+  OperationContext& ctx() { return *ctx_; }
+  const TickClock& clock() const { return clock_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  struct LiveRun {
+    std::unique_ptr<CascadeSpec> spec;
+    std::unique_ptr<OperationInstance> instance;
+    BackgroundRunRecord record;
+  };
+  struct CompletionMsg {
+    OperationInstance* instance;
+    Tick end_tick;
+  };
+
+  DcId home_dc_;
+  OperationContext* ctx_;
+  TickClock clock_;
+  Rng rng_;
+  std::unordered_map<OperationInstance*, LiveRun> live_;
+  Inbox<CompletionMsg> completions_;
+  std::uint64_t next_serial_ = 0;
+  FreshnessLedger ledger_;
+  BinnedResponse response_by_hour_;
+  OpStats stats_;
+};
+
+}  // namespace gdisim

@@ -1,0 +1,32 @@
+#include "background/data_growth.h"
+
+#include <cmath>
+
+namespace gdisim {
+
+void DataGrowthModel::set_curve(DcId dc, WorkloadCurve mb_per_hour) {
+  if (curves_.size() <= dc) curves_.resize(dc + 1);
+  curves_[dc] = std::move(mb_per_hour);
+}
+
+double DataGrowthModel::rate_mb_per_hour(DcId dc, double hour) const {
+  if (dc >= curves_.size()) return 0.0;
+  return curves_[dc].at_hour(hour);
+}
+
+double DataGrowthModel::generated_mb(DcId dc, double hour0, double hour1) const {
+  if (dc >= curves_.size() || hour1 <= hour0) return 0.0;
+  // Trapezoidal integration with ~6-minute resolution.
+  const double span = hour1 - hour0;
+  const int segments = std::max(1, static_cast<int>(std::ceil(span * 10.0)));
+  const double dh = span / segments;
+  double total = 0.0;
+  for (int i = 0; i < segments; ++i) {
+    const double a = rate_mb_per_hour(dc, hour0 + i * dh);
+    const double b = rate_mb_per_hour(dc, hour0 + (i + 1) * dh);
+    total += 0.5 * (a + b) * dh;
+  }
+  return total;
+}
+
+}  // namespace gdisim

@@ -1,0 +1,41 @@
+// Data growth model (thesis §6.4.3, Figure 6-10): MB of new/modified file
+// data generated per hour in each data center. The SYNCHREP and INDEXBUILD
+// daemons integrate these curves to size their transfers, exactly as GDISim
+// "takes information about the data growth in each data center and uses the
+// average file size to estimate the number of files to be transferred".
+#pragma once
+
+#include <vector>
+
+#include "hardware/datacenter.h"
+#include "software/workload.h"
+
+namespace gdisim {
+
+class DataGrowthModel {
+ public:
+  DataGrowthModel() = default;
+  explicit DataGrowthModel(std::vector<WorkloadCurve> mb_per_hour_by_dc)
+      : curves_(std::move(mb_per_hour_by_dc)) {}
+
+  void set_curve(DcId dc, WorkloadCurve mb_per_hour);
+
+  /// Instantaneous generation rate, MB/hour.
+  double rate_mb_per_hour(DcId dc, double hour) const;
+
+  /// MB generated in `dc` during [hour0, hour1] (trapezoidal integration,
+  /// periodic over 24h).
+  double generated_mb(DcId dc, double hour0, double hour1) const;
+
+  /// Average file size used to convert volumes to file counts.
+  double average_file_mb() const { return average_file_mb_; }
+  void set_average_file_mb(double mb) { average_file_mb_ = mb; }
+
+  std::size_t dc_count() const { return curves_.size(); }
+
+ private:
+  std::vector<WorkloadCurve> curves_;
+  double average_file_mb_ = 50.0;
+};
+
+}  // namespace gdisim

@@ -1,0 +1,19 @@
+#include "background/file_catalog.h"
+
+#include <algorithm>
+
+namespace gdisim {
+
+double FreshnessLedger::max_exposure_s() const {
+  double m = 0.0;
+  for (const auto& r : runs_) m = std::max(m, r.exposure_s());
+  return m;
+}
+
+double FreshnessLedger::max_duration_s() const {
+  double m = 0.0;
+  for (const auto& r : runs_) m = std::max(m, r.duration_s);
+  return m;
+}
+
+}  // namespace gdisim

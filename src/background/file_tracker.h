@@ -1,0 +1,78 @@
+// Per-file identity tracking (thesis §9.2.3 "File Identity", future work).
+//
+// The SYNCHREP daemons operate on aggregate volumes; this tracker
+// materializes those volumes into discrete files — id, creator, owner,
+// creation time — and measures the *per-file* staleness distribution: how
+// long each file version existed before a synchronization run propagated
+// it. R^max (the ledger's worst case) is the tail of this distribution;
+// the tracker also provides mean and percentiles, which the thesis lists as
+// the information data center operators actually need for SLA design.
+//
+// Thread-safety: files are partitioned by owning data center, and each
+// owner's SYNCHREP daemon is the only writer of its partition (callbacks
+// run in that daemon's interaction phase), so no synchronization is needed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "background/data_growth.h"
+#include "background/ownership.h"
+#include "core/rng.h"
+
+namespace gdisim {
+
+/// Histogram-backed summary of per-file staleness, seconds.
+class StalenessDistribution {
+ public:
+  static constexpr int kBins = 240;          // 30 s bins ...
+  static constexpr double kBinSeconds = 30;  // ... up to 2 h
+
+  void record(double seconds);
+
+  std::uint64_t count() const { return count_; }
+  double mean_s() const { return count_ ? total_ / static_cast<double>(count_) : 0.0; }
+  double max_s() const { return max_; }
+  /// Inverse-CDF lookup from the histogram (upper bin edge).
+  double percentile_s(double p) const;
+
+  /// Accumulates another distribution into this one.
+  void merge(const StalenessDistribution& other);
+
+ private:
+  std::array<std::uint64_t, kBins> bins_{};
+  std::uint64_t count_ = 0;
+  double total_ = 0.0;
+  double max_ = 0.0;
+};
+
+class FileTracker {
+ public:
+  /// `apm` may be empty for single-master infrastructures (every file is
+  /// owned by `single_owner`).
+  FileTracker(const DataGrowthModel& growth, AccessPatternMatrix apm,
+              std::vector<DcId> creator_dcs, DcId single_owner, std::uint64_t seed);
+
+  /// Called when the owner's SYNCHREP run that covered content modified in
+  /// (cover_from_h, cover_to_h] completes at done_h. Materializes the files
+  /// created in that window and records their staleness.
+  void on_sync_complete(DcId owner, double cover_from_h, double cover_to_h, double done_h);
+
+  const StalenessDistribution& staleness(DcId owner) const { return per_owner_.at(owner); }
+
+  /// Distribution pooled across owners.
+  StalenessDistribution pooled() const;
+
+  std::uint64_t total_files() const;
+
+ private:
+  DataGrowthModel growth_;
+  AccessPatternMatrix apm_;
+  std::vector<DcId> creator_dcs_;
+  DcId single_owner_;
+  std::uint64_t seed_;
+  std::vector<StalenessDistribution> per_owner_;
+};
+
+}  // namespace gdisim

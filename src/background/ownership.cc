@@ -1,0 +1,54 @@
+#include "background/ownership.h"
+
+namespace gdisim {
+
+AccessPatternMatrix::AccessPatternMatrix(std::vector<std::vector<double>> rows) {
+  fraction_.reserve(rows.size());
+  cdf_.reserve(rows.size());
+  for (auto& row : rows) {
+    if (row.size() != rows.size()) {
+      throw std::invalid_argument("AccessPatternMatrix: must be square");
+    }
+    double total = 0.0;
+    for (double v : row) {
+      if (v < 0.0) throw std::invalid_argument("AccessPatternMatrix: negative entry");
+      total += v;
+    }
+    if (total <= 0.0) throw std::invalid_argument("AccessPatternMatrix: zero row");
+    std::vector<double> frac(row.size());
+    std::vector<double> cdf(row.size());
+    double acc = 0.0;
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      frac[j] = row[j] / total;
+      acc += frac[j];
+      cdf[j] = acc;
+    }
+    cdf.back() = 1.0;
+    fraction_.push_back(std::move(frac));
+    cdf_.push_back(std::move(cdf));
+  }
+}
+
+AccessPatternMatrix AccessPatternMatrix::single_master(std::size_t dc_count, DcId master) {
+  std::vector<std::vector<double>> rows(dc_count, std::vector<double>(dc_count, 0.0));
+  for (std::size_t i = 0; i < dc_count; ++i) rows[i][master] = 100.0;
+  return AccessPatternMatrix(std::move(rows));
+}
+
+DcId AccessPatternMatrix::sample_owner(DcId origin, double uniform01) const {
+  const auto& cdf = cdf_.at(origin);
+  for (std::size_t j = 0; j < cdf.size(); ++j) {
+    if (uniform01 < cdf[j]) return static_cast<DcId>(j);
+  }
+  return static_cast<DcId>(cdf.size() - 1);
+}
+
+double AccessPatternMatrix::fraction(DcId origin, DcId owner) const {
+  return fraction_.at(origin).at(owner);
+}
+
+double owned_growth_fraction(const AccessPatternMatrix& apm, DcId creator, DcId owner) {
+  return apm.fraction(creator, owner);
+}
+
+}  // namespace gdisim

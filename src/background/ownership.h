@@ -1,0 +1,47 @@
+// Data ownership & access patterns (thesis §7.2.1, Tables 7.1/7.2).
+//
+// The Access Pattern Matrix (APM) gives, for each *accessing* data center,
+// the distribution of which data center *owns* the files it requests. In the
+// consolidated (single-master) infrastructure every row assigns 100% to the
+// MDC; the multiple-master infrastructure uses the measured Table 7.2.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "hardware/datacenter.h"
+
+namespace gdisim {
+
+class AccessPatternMatrix {
+ public:
+  AccessPatternMatrix() = default;
+
+  /// `rows[i][j]` = fraction (0..1 or percentages summing ~100) of requests
+  /// originating in DC i that touch data owned by DC j.
+  explicit AccessPatternMatrix(std::vector<std::vector<double>> rows);
+
+  /// Single-master: every request is owned by `master`.
+  static AccessPatternMatrix single_master(std::size_t dc_count, DcId master);
+
+  /// Deterministic inverse-CDF owner sampling.
+  DcId sample_owner(DcId origin, double uniform01) const;
+
+  /// Fraction of origin's accesses owned by `owner`.
+  double fraction(DcId origin, DcId owner) const;
+
+  std::size_t dc_count() const { return cdf_.size(); }
+  bool empty() const { return cdf_.empty(); }
+
+ private:
+  std::vector<std::vector<double>> fraction_;  // normalized rows
+  std::vector<std::vector<double>> cdf_;
+};
+
+/// Ownership attribution of *data growth*: new data created in DC d is owned
+/// by DC o with the same distribution the APM gives for d's accesses — the
+/// thesis assigns files "to the data center that is geographically closest
+/// to the largest volume of requests" (Figure 7-1).
+double owned_growth_fraction(const AccessPatternMatrix& apm, DcId creator, DcId owner);
+
+}  // namespace gdisim

@@ -1,0 +1,59 @@
+#include "config/spec.h"
+
+namespace gdisim {
+
+ServerSpec make_server_spec(const TierNotation& t, bool has_local_raid) {
+  ServerSpec spec;
+  const unsigned sockets = t.cores_per_server >= 8 ? 2u : 1u;
+  spec.cpu.sockets = sockets;
+  spec.cpu.cores_per_socket = t.cores_per_server / sockets;
+  spec.cpu.frequency_hz = t.core_ghz * 1e9;
+
+  spec.memory.capacity_bytes = t.mem_gb * (1ull << 30);
+  spec.memory.cache_hit_rate = t.mem_cache_hit;
+  spec.memory.pool_reserved_bytes = t.mem_pool_gb * (1ull << 30);
+
+  spec.nic.rate_bps = 10e9;
+
+  if (has_local_raid) {
+    RaidSpec raid;
+    raid.disks = 2;
+    raid.dacc_rate_Bps = 4e9 / 8.0;
+    raid.dacc_hit_rate = 0.2;
+    raid.dcc_rate_Bps = 3e9 / 8.0;
+    raid.dcc_hit_rate = 0.1;
+    raid.hdd_rate_Bps = 150e6;
+    spec.raid = raid;
+  }
+  return spec;
+}
+
+SanSpec make_san_spec(const SanNotation& s) {
+  SanSpec spec;
+  spec.disks = s.disks;
+  double hdd = 110e6;
+  if (s.rpm >= 15000.0) {
+    hdd = 180e6;
+  } else if (s.rpm >= 10000.0) {
+    hdd = 140e6;
+  }
+  spec.hdd_rate_Bps = hdd;
+  spec.fcsw_rate_Bps = s.controllers * 8e9 / 8.0;
+  spec.dacc_rate_Bps = s.controllers * 4e9 / 8.0;
+  spec.dacc_hit_rate = 0.25;
+  spec.fcal_rate_Bps = s.controllers * 4e9 / 8.0;
+  spec.dcc_rate_Bps = 3e9 / 8.0;
+  spec.dcc_hit_rate = 0.1;
+  return spec;
+}
+
+LinkSpec make_link_spec(const LinkNotation& l) {
+  LinkSpec spec;
+  spec.bandwidth_bps = l.gbps * 1e9;
+  spec.latency_seconds = l.latency_ms / 1000.0;
+  spec.max_concurrent = 0;
+  spec.allocated_fraction = l.allocated_fraction;
+  return spec;
+}
+
+}  // namespace gdisim

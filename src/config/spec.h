@@ -1,0 +1,50 @@
+// Scenario-level hardware notation following the thesis conventions:
+//   T^(a,b,c)   — tier with a servers, b cores per server, c GB RAM
+//   san^(s,b,c) — SAN with s controllers, b disks, c rpm drives
+//   L^(a,b)     — link with a Gbps bandwidth and b ms latency
+// plus converters to the component-level specs in src/hardware.
+#pragma once
+
+#include <optional>
+
+#include "hardware/link.h"
+#include "hardware/raid.h"
+#include "hardware/san.h"
+#include "hardware/server.h"
+
+namespace gdisim {
+
+struct TierNotation {
+  unsigned servers = 1;
+  unsigned cores_per_server = 4;
+  double mem_gb = 32.0;
+  double core_ghz = 2.5;
+  /// Probability that a storage access is served from RAM cache.
+  double mem_cache_hit = 0.30;
+  /// OS/runtime memory-pool floor observed in §5.3.3, GB.
+  double mem_pool_gb = 0.0;
+};
+
+struct SanNotation {
+  unsigned controllers = 1;
+  unsigned disks = 20;
+  double rpm = 15000.0;
+};
+
+struct LinkNotation {
+  double gbps = 1.0;
+  double latency_ms = 0.0;
+  double allocated_fraction = 1.0;  ///< Ch. 6: apps may use 20% of WAN links
+};
+
+/// Converts T^(a,b,c) to a per-server spec. Servers with >= 8 cores are
+/// modeled as dual-socket (p=2), matching the thesis examples.
+ServerSpec make_server_spec(const TierNotation& t, bool has_local_raid);
+
+/// Converts san^(s,b,c): drive throughput is derived from spindle speed
+/// (15K rpm ~ 180 MB/s sustained, 10K ~ 140, 7.2K ~ 110).
+SanSpec make_san_spec(const SanNotation& s);
+
+LinkSpec make_link_spec(const LinkNotation& l);
+
+}  // namespace gdisim

@@ -1,0 +1,57 @@
+// Work-item dispatcher (thesis §4.2.2, Figure 4-1).
+//
+// The dispatcher owns a queue of *work items* — active messages already
+// paired with their handler by an arbiter — and a pool of threads that
+// continuously pull and execute them. Handlers run on the stack of the
+// pulling thread: no per-message thread is ever spawned.
+//
+// A thread count of zero selects inline execution (post() runs the item on
+// the calling thread), which is useful for tests and for the serial engine.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gdisim {
+
+using WorkItem = std::function<void()>;
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(std::size_t thread_count);
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Enqueues a work item; wakes one worker. With zero threads the item runs
+  /// synchronously on the caller's stack.
+  void post(WorkItem item);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void drain();
+
+  std::size_t thread_count() const { return threads_.size(); }
+
+  /// Total items executed since construction (approximate under concurrency).
+  std::uint64_t executed_count() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // signals work available / shutdown
+  std::condition_variable idle_cv_;   // signals possible idleness for drain()
+  std::deque<WorkItem> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t active_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gdisim

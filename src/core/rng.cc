@@ -1,0 +1,40 @@
+#include "core/rng.h"
+
+#include <cmath>
+
+namespace gdisim {
+
+double Rng::next_exponential(double mean) {
+  // Inverse-CDF; clamp the uniform away from 0 to avoid log(0).
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::next_normal(double mean, double stddev) {
+  // Box–Muller. Draws two uniforms per variate; simple and stream-stable.
+  double u1 = next_double();
+  double u2 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  return mean + stddev * r * std::cos(theta);
+}
+
+Rng Rng::split(std::string_view purpose) const {
+  // Fold the current state with the purpose hash through SplitMix64 so child
+  // streams are decorrelated from the parent and from each other.
+  std::uint64_t folded = s_[0] ^ (s_[1] * 0x9e3779b97f4a7c15ULL) ^ stable_hash(purpose);
+  return Rng(SplitMix64(folded).next());
+}
+
+std::uint64_t stable_hash(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace gdisim

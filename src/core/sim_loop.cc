@@ -1,0 +1,45 @@
+#include "core/sim_loop.h"
+
+#include <stdexcept>
+
+namespace gdisim {
+
+AgentId SimulationLoop::add_agent(Agent* agent) {
+  if (agent == nullptr) throw std::invalid_argument("SimulationLoop: null agent");
+  const AgentId id = static_cast<AgentId>(agents_.size());
+  agent->set_id(id);
+  agents_.push_back(agent);
+  return id;
+}
+
+void SimulationLoop::step() {
+  const Tick now = now_;
+  const std::size_t n = agents_.size();
+
+  // 0. Single-threaded pre-tick hooks (failure events, route updates, ...).
+  for (auto& hook : pre_tick_hooks_) hook(now);
+
+  // 1. Time increment control signals.
+  engine_->for_each(n, [this, now](std::size_t i) { agents_[i]->on_tick(now); });
+
+  // 2. Agent interaction step: absorb everything that became visible during
+  //    this tick (visible_at <= now + 1).
+  engine_->for_each(n, [this, now](std::size_t i) { agents_[i]->on_interactions(now + 1); });
+
+  // 3. Measurement collection control signal.
+  if (config_.collect_every > 0 && collect_cb_ && (now + 1) % config_.collect_every == 0) {
+    collect_cb_(now + 1);
+  }
+
+  ++now_;
+}
+
+void SimulationLoop::run_until(Tick end_tick) {
+  while (now_ < end_tick) step();
+}
+
+void SimulationLoop::run_for_seconds(double seconds) {
+  run_until(now_ + clock_.to_ticks(seconds));
+}
+
+}  // namespace gdisim

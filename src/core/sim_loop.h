@@ -1,0 +1,80 @@
+// The discrete time loop (thesis §4.3.1).
+//
+// A centralized timer drives the heartbeat: at every step all agents receive
+// the time-increment signal, then the interaction step absorbs deliveries,
+// and periodically the measurement-collection signal samples agent state.
+//
+// Iteration with now == T means:
+//   1. tick phase:        every agent advances through (T, T+1]; work that
+//                         completes is forwarded stamped visible_at = T+1.
+//   2. interaction phase: every agent absorbs deliveries visible_at <= T+1
+//                         into its service queues; they first receive
+//                         service during tick T+1 (consistency rule §4.3.3).
+//   3. collection phase:  every `collect_every` iterations the registered
+//                         collection callback samples the whole system.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/engine.h"
+#include "core/types.h"
+
+namespace gdisim {
+
+struct SimLoopConfig {
+  double tick_seconds = 0.01;
+  /// Interval (in ticks) between measurement-collection signals; 0 disables.
+  Tick collect_every = 0;
+};
+
+class SimulationLoop {
+ public:
+  SimulationLoop(SimLoopConfig config, ExecutionEngine& engine)
+      : config_(config), clock_(config.tick_seconds), engine_(&engine) {}
+
+  /// Registers an agent (non-owning) and assigns its dense id.
+  AgentId add_agent(Agent* agent);
+
+  /// Runs until simulated `end_tick` (exclusive).
+  void run_until(Tick end_tick);
+
+  /// Runs a given simulated duration in seconds from the current time.
+  void run_for_seconds(double seconds);
+
+  /// Executes exactly one iteration (tick + interaction + maybe collection).
+  void step();
+
+  Tick now() const { return now_; }
+  double now_seconds() const { return clock_.to_seconds(now_); }
+  const TickClock& clock() const { return clock_; }
+  const SimLoopConfig& config() const { return config_; }
+  std::size_t agent_count() const { return agents_.size(); }
+
+  /// Measurement-collection control signal target (thesis Collector
+  /// Component). Invoked with the tick at which the sample is taken.
+  void set_collect_callback(std::function<void(Tick)> cb) { collect_cb_ = std::move(cb); }
+
+  /// Pre-tick hooks run single-threaded at the start of each iteration,
+  /// before any agent phase — the safe place to mutate shared state such as
+  /// routing tables (used by the failure injector).
+  void add_pre_tick_hook(std::function<void(Tick)> hook) {
+    pre_tick_hooks_.push_back(std::move(hook));
+  }
+
+  ExecutionEngine& engine() { return *engine_; }
+  void set_engine(ExecutionEngine& engine) { engine_ = &engine; }
+
+ private:
+  SimLoopConfig config_;
+  TickClock clock_;
+  ExecutionEngine* engine_;
+  std::vector<Agent*> agents_;
+  std::function<void(Tick)> collect_cb_;
+  std::vector<std::function<void(Tick)>> pre_tick_hooks_;
+  Tick now_ = 0;
+};
+
+}  // namespace gdisim

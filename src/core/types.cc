@@ -1,0 +1,19 @@
+#include "core/types.h"
+
+#include <cstdio>
+
+namespace gdisim {
+
+std::string format_sim_time(double seconds) {
+  const bool neg = seconds < 0;
+  if (neg) seconds = -seconds;
+  const auto total = static_cast<long long>(seconds);
+  const long long h = total / 3600;
+  const long long m = (total % 3600) / 60;
+  const long long s = total % 60;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%lld:%02lld:%02lld", neg ? "-" : "", h, m, s);
+  return buf;
+}
+
+}  // namespace gdisim

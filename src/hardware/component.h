@@ -1,0 +1,130 @@
+// Component: the agent base class for all hardware models.
+//
+// A component is a low-level hardware element (CPU, NIC, link, RAID, ...)
+// modeled as a queue or network of queues (thesis §3.4.2). Stage jobs are
+// submitted through a thread-safe, deterministic inbox; the interaction
+// phase absorbs them into the discipline queue and the tick phase serves
+// them. Completions are reported synchronously to the stage handler, which
+// routes the in-flight message to its next component.
+//
+// Sub-tick stages: the route builder may decide that a stage's service
+// demand is far below one tick (a 2 KB request on a 10 Gb/s switch). Such
+// stages are not enqueued — their work is *accounted* against the component
+// via account_instant() so utilization stays correct, and the message skips
+// straight to its next stage. Heavily-loaded stages (bulk transfers, CPU
+// bursts, disk I/O) always queue, so contention effects are preserved where
+// they matter. This keeps the tick length an order of magnitude below the
+// canonical costs, as the thesis requires, without making every metadata
+// hop cost a full tick.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "core/agent.h"
+#include "core/types.h"
+
+namespace gdisim {
+
+class Component;
+
+/// Implemented by the software layer's in-flight message state. Called from
+/// a component's tick phase when the message's current stage finishes; the
+/// handler forwards the message to the next stage with visible_at = now + 1.
+class StageCompletionHandler {
+ public:
+  virtual ~StageCompletionHandler() = default;
+  virtual void on_stage_complete(Component& at, Tick now, std::uint64_t tag) = 0;
+};
+
+/// One unit of routed work: `work` is in the receiving component's service
+/// unit (cycles, bits, bytes, seconds). `tag` is opaque handler context.
+/// `parallelism` (thesis §9.1.1 "Multithreading", future work): CPU stages
+/// with parallelism > 1 fork their cycles across up to that many cores and
+/// join on completion; other components ignore it.
+struct StageJob {
+  double work = 0.0;
+  StageCompletionHandler* handler = nullptr;
+  std::uint64_t tag = 0;
+  unsigned parallelism = 1;
+};
+
+class Component : public Agent {
+ public:
+  /// Thread-safe submission; the job becomes serviceable at `visible_at`.
+  /// (sender, seq) make the inbox drain order deterministic.
+  void submit(Tick visible_at, AgentId sender, std::uint64_t seq, StageJob job) {
+    inbox_.post(visible_at, sender, seq, job);
+  }
+
+  void on_interactions(Tick now) override {
+    for (auto& d : inbox_.drain_visible(now)) accept(d.payload);
+  }
+
+  void on_tick(Tick now) final {
+    const double instant = instant_accum_.exchange(0.0, std::memory_order_relaxed);
+    const double cap = capacity_per_second() * tick_seconds_;
+    instant_fraction_ = cap > 0.0 ? instant / cap : 0.0;
+    advance_tick(now, tick_seconds_);
+    window_accum_ += utilization();
+    ++window_ticks_;
+  }
+
+  /// Set by the infrastructure builder before the run starts.
+  void set_tick_seconds(double s) { tick_seconds_ = s; }
+  double tick_seconds() const { return tick_seconds_; }
+
+  /// Capacity fraction used during the last tick, in [0, 1]; includes
+  /// sub-tick accounted work.
+  double utilization() const {
+    return std::min(1.0, raw_utilization() + instant_fraction_);
+  }
+
+  /// Mean utilization since the previous call — what the measurement
+  /// collection signal samples (thesis: snapshots average many per-tick
+  /// samples). Resets the window.
+  double take_window_utilization() {
+    const double u = window_ticks_ > 0 ? window_accum_ / static_cast<double>(window_ticks_)
+                                       : utilization();
+    window_accum_ = 0.0;
+    window_ticks_ = 0;
+    return u;
+  }
+
+  /// Records work served "instantly" (below the sub-tick threshold).
+  /// Thread-safe; callable from any worker during routing.
+  void account_instant(double work) {
+    instant_accum_.fetch_add(work, std::memory_order_relaxed);
+  }
+
+  /// Aggregate service capacity in work units per second (all servers).
+  virtual double capacity_per_second() const = 0;
+
+  /// Approximate service rate seen by a single job when the component is
+  /// idle; used by the route builder's sub-tick decision.
+  virtual double single_job_rate() const { return capacity_per_second(); }
+
+  /// Jobs currently queued or in service.
+  virtual std::size_t queue_length() const = 0;
+
+ protected:
+  /// Moves an absorbed job into the service discipline.
+  virtual void accept(StageJob job) = 0;
+
+  /// Advances the discipline by `dt` simulated seconds ending at tick now+1.
+  virtual void advance_tick(Tick now, double dt) = 0;
+
+  /// Utilization of the discipline queues during the last tick.
+  virtual double raw_utilization() const = 0;
+
+ private:
+  Inbox<StageJob> inbox_;
+  double tick_seconds_ = 0.0;
+  std::atomic<double> instant_accum_{0.0};
+  double instant_fraction_ = 0.0;
+  double window_accum_ = 0.0;
+  std::uint64_t window_ticks_ = 0;
+};
+
+}  // namespace gdisim

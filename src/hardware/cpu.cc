@@ -1,0 +1,51 @@
+#include "hardware/cpu.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace gdisim {
+
+CpuComponent::CpuComponent(const CpuSpec& spec) : spec_(spec) {
+  sockets_.reserve(spec.sockets);
+  for (unsigned p = 0; p < spec.sockets; ++p) {
+    sockets_.emplace_back(spec.effective_cores_per_socket(), spec.frequency_hz);
+  }
+}
+
+void CpuComponent::accept(StageJob job) {
+  // Deterministic least-loaded socket placement.
+  std::size_t best = 0;
+  for (std::size_t p = 1; p < sockets_.size(); ++p) {
+    if (sockets_[p].total_jobs() < sockets_[best].total_jobs()) best = p;
+  }
+  // Parallel jobs (§9.1.1) fork across up to `parallelism` cores of the
+  // chosen socket; total cycles are unchanged, latency shrinks.
+  const unsigned shares =
+      std::max(1u, std::min(job.parallelism, spec_.effective_cores_per_socket()));
+  auto* pending = new PendingJob{job, shares};
+  const double share_work = job.work / static_cast<double>(shares);
+  for (unsigned k = 0; k < shares; ++k) sockets_[best].enqueue(share_work, pending);
+}
+
+void CpuComponent::advance_tick(Tick now, double dt) {
+  double util_sum = 0.0;
+  for (auto& socket : sockets_) {
+    AdvanceResult r = socket.advance(dt);
+    util_sum += socket.last_utilization();
+    for (JobCtx ctx : r.completed) {
+      auto* pending = static_cast<PendingJob*>(ctx);
+      if (--pending->outstanding > 0) continue;
+      std::unique_ptr<PendingJob> owned(pending);
+      owned->stage.handler->on_stage_complete(*this, now, owned->stage.tag);
+    }
+  }
+  last_utilization_ = util_sum / static_cast<double>(sockets_.size());
+}
+
+std::size_t CpuComponent::queue_length() const {
+  std::size_t n = 0;
+  for (const auto& socket : sockets_) n += socket.total_jobs();
+  return n;
+}
+
+}  // namespace gdisim

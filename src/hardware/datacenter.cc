@@ -1,0 +1,49 @@
+#include "hardware/datacenter.h"
+
+#include <stdexcept>
+
+namespace gdisim {
+
+DataCenter::DataCenter(std::string name, const SwitchSpec& sw, std::optional<SanSpec> san,
+                       Rng rng)
+    : name_(std::move(name)), rng_(rng) {
+  switch_ = std::make_unique<SwitchComponent>(sw);
+  switch_->set_name(name_ + "/switch");
+  client_station_ = std::make_unique<DelayComponent>();
+  client_station_->set_name(name_ + "/clients");
+  if (san.has_value()) {
+    san_ = std::make_unique<SanComponent>(*san, rng_.split("san"));
+    san_->set_name(name_ + "/san");
+  }
+}
+
+Tier& DataCenter::add_tier(TierKind kind, unsigned count, const ServerSpec& server_spec,
+                           const LinkSpec& local_link_spec) {
+  auto& slot = tiers_[static_cast<unsigned>(kind)];
+  if (slot) throw std::logic_error("DataCenter: tier already present: " + name_);
+  if (!server_spec.raid.has_value() && !san_) {
+    throw std::logic_error("DataCenter: server without RAID requires a SAN: " + name_);
+  }
+  std::vector<std::unique_ptr<Server>> servers;
+  servers.reserve(count);
+  const std::string tier_name = name_ + "/" + tier_kind_name(kind);
+  for (unsigned i = 0; i < count; ++i) {
+    const std::string srv_name = tier_name + "/s" + std::to_string(i);
+    servers.push_back(
+        std::make_unique<Server>(server_spec, srv_name, rng_.split(srv_name), san_.get()));
+  }
+  slot = std::make_unique<Tier>(kind, tier_name, std::move(servers), local_link_spec);
+  return *slot;
+}
+
+std::vector<Component*> DataCenter::owned_components() {
+  std::vector<Component*> out{switch_.get(), client_station_.get()};
+  if (san_) out.push_back(san_.get());
+  for (auto& t : tiers_) {
+    if (!t) continue;
+    for (Component* c : t->owned_components()) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace gdisim

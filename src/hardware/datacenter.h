@@ -1,0 +1,66 @@
+// Data center holon: tiers interconnected through a switch, an optional
+// shared SAN, and a client-side delay station (thesis §3.4.3, Figure 3-9).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "hardware/delay.h"
+#include "hardware/network_switch.h"
+#include "hardware/san.h"
+#include "hardware/tier.h"
+
+namespace gdisim {
+
+using DcId = std::uint32_t;
+inline constexpr DcId kInvalidDc = static_cast<DcId>(-1);
+
+/// Client machine model used to turn client-side R costs into delay seconds
+/// (clients are modeled without contention; see hardware/delay.h).
+struct ClientMachineSpec {
+  double cpu_hz = 2.4e9;
+  double disk_Bps = 100e6;
+};
+
+class DataCenter {
+ public:
+  DataCenter(std::string name, const SwitchSpec& sw, std::optional<SanSpec> san, Rng rng);
+
+  /// Adds a tier of `count` identical servers. Servers without a RaidSpec
+  /// use the data center SAN.
+  Tier& add_tier(TierKind kind, unsigned count, const ServerSpec& server_spec,
+                 const LinkSpec& local_link_spec);
+
+  /// Returns the tier of the given kind, or null if absent.
+  Tier* tier(TierKind kind) { return tiers_[static_cast<unsigned>(kind)].get(); }
+  const Tier* tier(TierKind kind) const { return tiers_[static_cast<unsigned>(kind)].get(); }
+
+  SwitchComponent& dc_switch() { return *switch_; }
+  DelayComponent& client_station() { return *client_station_; }
+  SanComponent* san() { return san_.get(); }
+
+  const std::string& name() const { return name_; }
+  DcId id() const { return id_; }
+  void set_id(DcId id) { id_ = id; }
+
+  ClientMachineSpec& client_machine() { return client_machine_; }
+  const ClientMachineSpec& client_machine() const { return client_machine_; }
+
+  std::vector<Component*> owned_components();
+
+ private:
+  std::string name_;
+  DcId id_ = kInvalidDc;
+  Rng rng_;
+  std::unique_ptr<SwitchComponent> switch_;
+  std::unique_ptr<DelayComponent> client_station_;
+  std::unique_ptr<SanComponent> san_;
+  std::array<std::unique_ptr<Tier>, static_cast<unsigned>(TierKind::kCount)> tiers_;
+  ClientMachineSpec client_machine_;
+};
+
+}  // namespace gdisim

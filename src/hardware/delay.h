@@ -1,0 +1,45 @@
+// Infinite-server delay station (M/G/inf).
+//
+// Used for client-side processing: thousands of client machines are not a
+// shared bottleneck, so their per-message CPU/disk cost is modeled as a pure
+// delay with no contention (work = seconds of delay).
+#pragma once
+
+#include <vector>
+
+#include "hardware/component.h"
+
+namespace gdisim {
+
+class DelayComponent final : public Component {
+ public:
+  DelayComponent() = default;
+
+  std::size_t queue_length() const override { return in_flight_.size(); }
+  double capacity_per_second() const override { return 0.0; }
+  /// Delay stations serve work measured in seconds at unit rate.
+  double single_job_rate() const override { return 1.0; }
+
+ protected:
+  double raw_utilization() const override { return in_flight_.empty() ? 0.0 : 1.0; }
+  void accept(StageJob job) override { in_flight_.push_back(job); }
+
+  void advance_tick(Tick now, double dt) override {
+    std::vector<StageJob> remaining;
+    remaining.reserve(in_flight_.size());
+    for (StageJob& job : in_flight_) {
+      job.work -= dt;
+      if (job.work <= 1e-12) {
+        job.handler->on_stage_complete(*this, now, job.tag);
+      } else {
+        remaining.push_back(job);
+      }
+    }
+    in_flight_ = std::move(remaining);
+  }
+
+ private:
+  std::vector<StageJob> in_flight_;
+};
+
+}  // namespace gdisim

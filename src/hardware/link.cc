@@ -1,0 +1,3 @@
+#include "hardware/link.h"
+
+namespace gdisim {}  // namespace gdisim

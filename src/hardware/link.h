@@ -1,0 +1,55 @@
+// Network link: M/M/1/k PS with constant propagation latency (thesis
+// Figure 3-6, right). Bandwidth is shared uniformly among up to k
+// simultaneous transfers; latency is added to each task's processing time.
+#pragma once
+
+#include <memory>
+
+#include "hardware/component.h"
+#include "queueing/ps_queue.h"
+
+namespace gdisim {
+
+struct LinkSpec {
+  double bandwidth_bps = 1e9;
+  double latency_seconds = 0.0;
+  std::size_t max_concurrent = 0;  ///< k; 0 = unlimited
+  /// Fraction of raw bandwidth allocated to the simulated applications
+  /// (Ch. 6 requirement: 20% of WAN capacity). Utilization is reported
+  /// against the *allocated* capacity.
+  double allocated_fraction = 1.0;
+};
+
+class LinkComponent final : public Component {
+ public:
+  explicit LinkComponent(const LinkSpec& spec)
+      : spec_(spec),
+        queue_(spec.bandwidth_bps * spec.allocated_fraction, spec.max_concurrent,
+               spec.latency_seconds) {}
+
+  std::size_t queue_length() const override { return queue_.total_jobs(); }
+  const LinkSpec& spec() const { return spec_; }
+  std::size_t active_transfers() const { return queue_.active(); }
+  std::uint64_t completed_transfers() const { return queue_.completed_jobs(); }
+  double capacity_per_second() const override {
+    return spec_.bandwidth_bps * spec_.allocated_fraction;
+  }
+
+ protected:
+  double raw_utilization() const override { return queue_.last_utilization(); }
+  void accept(StageJob job) override { queue_.enqueue(job.work, new StageJob(job)); }
+
+  void advance_tick(Tick now, double dt) override {
+    AdvanceResult r = queue_.advance(dt);
+    for (JobCtx ctx : r.completed) {
+      std::unique_ptr<StageJob> job(static_cast<StageJob*>(ctx));
+      job->handler->on_stage_complete(*this, now, job->tag);
+    }
+  }
+
+ private:
+  LinkSpec spec_;
+  PsQueue queue_;
+};
+
+}  // namespace gdisim

@@ -1,0 +1,5 @@
+#include "hardware/memory.h"
+
+// MemoryComponent is header-only; this TU anchors the module in the build.
+
+namespace gdisim {}  // namespace gdisim

@@ -1,0 +1,3 @@
+#include "hardware/network_switch.h"
+
+namespace gdisim {}  // namespace gdisim

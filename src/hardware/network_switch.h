@@ -1,0 +1,41 @@
+// Network switch: M/M/1 FCFS over bits (thesis Figure 3-6, center).
+// Typically an order of magnitude faster than a NIC.
+#pragma once
+
+#include <memory>
+
+#include "hardware/component.h"
+#include "queueing/fcfs_queue.h"
+
+namespace gdisim {
+
+struct SwitchSpec {
+  double rate_bps = 1e10;  ///< bits per second
+};
+
+class SwitchComponent final : public Component {
+ public:
+  explicit SwitchComponent(const SwitchSpec& spec) : spec_(spec), queue_(1, spec.rate_bps) {}
+
+  std::size_t queue_length() const override { return queue_.total_jobs(); }
+  const SwitchSpec& spec() const { return spec_; }
+  double capacity_per_second() const override { return spec_.rate_bps; }
+
+ protected:
+  double raw_utilization() const override { return queue_.last_utilization(); }
+  void accept(StageJob job) override { queue_.enqueue(job.work, new StageJob(job)); }
+
+  void advance_tick(Tick now, double dt) override {
+    AdvanceResult r = queue_.advance(dt);
+    for (JobCtx ctx : r.completed) {
+      std::unique_ptr<StageJob> job(static_cast<StageJob*>(ctx));
+      job->handler->on_stage_complete(*this, now, job->tag);
+    }
+  }
+
+ private:
+  SwitchSpec spec_;
+  FcfsMultiServerQueue queue_;
+};
+
+}  // namespace gdisim

@@ -1,0 +1,3 @@
+#include "hardware/nic.h"
+
+namespace gdisim {}  // namespace gdisim

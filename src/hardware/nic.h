@@ -1,0 +1,42 @@
+// Network Interface Card: M/M/1 FCFS over bits (thesis Figure 3-6, left).
+#pragma once
+
+#include <memory>
+
+#include "hardware/component.h"
+#include "queueing/fcfs_queue.h"
+
+namespace gdisim {
+
+struct NicSpec {
+  double rate_bps = 1e9;  ///< bits per second
+};
+
+class NicComponent final : public Component {
+ public:
+  explicit NicComponent(const NicSpec& spec) : spec_(spec), queue_(1, spec.rate_bps) {}
+
+  std::size_t queue_length() const override { return queue_.total_jobs(); }
+  const NicSpec& spec() const { return spec_; }
+  double capacity_per_second() const override { return spec_.rate_bps; }
+
+ protected:
+  double raw_utilization() const override { return queue_.last_utilization(); }
+  void accept(StageJob job) override {
+    queue_.enqueue(job.work, new StageJob(job));
+  }
+
+  void advance_tick(Tick now, double dt) override {
+    AdvanceResult r = queue_.advance(dt);
+    for (JobCtx ctx : r.completed) {
+      std::unique_ptr<StageJob> job(static_cast<StageJob*>(ctx));
+      job->handler->on_stage_complete(*this, now, job->tag);
+    }
+  }
+
+ private:
+  NicSpec spec_;
+  FcfsMultiServerQueue queue_;
+};
+
+}  // namespace gdisim

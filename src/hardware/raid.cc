@@ -1,0 +1,91 @@
+#include "hardware/raid.h"
+
+#include <stdexcept>
+
+namespace gdisim {
+
+RaidComponent::RaidComponent(const RaidSpec& spec, Rng rng)
+    : spec_(spec), rng_(rng), dacc_(1, spec.dacc_rate_Bps) {
+  if (spec.disks == 0) throw std::invalid_argument("RaidComponent: zero disks");
+  dcc_.reserve(spec.disks);
+  hdd_.reserve(spec.disks);
+  for (unsigned i = 0; i < spec.disks; ++i) {
+    dcc_.emplace_back(1, spec.dcc_rate_Bps);
+    hdd_.emplace_back(1, spec.hdd_rate_Bps);
+  }
+}
+
+RaidComponent::~RaidComponent() {
+  for (RaidJob* job : live_jobs_) delete job;
+}
+
+void RaidComponent::accept(StageJob job) {
+  auto* rj = new RaidJob{job, 0};
+  live_jobs_.insert(rj);
+  dacc_.enqueue(job.work, rj);
+}
+
+void RaidComponent::complete(RaidJob* job, Tick now) {
+  job->stage.handler->on_stage_complete(*this, now, job->stage.tag);
+  live_jobs_.erase(job);
+  delete job;
+}
+
+void RaidComponent::fork(RaidJob* job) {
+  job->outstanding = spec_.disks;
+  const double share = job->stage.work / static_cast<double>(spec_.disks);
+  for (unsigned i = 0; i < spec_.disks; ++i) {
+    dcc_[i].enqueue(share, new BranchJob{job});
+  }
+}
+
+void RaidComponent::finish_branch(BranchJob* branch, Tick now) {
+  RaidJob* parent = branch->parent;
+  delete branch;
+  if (--parent->outstanding == 0) complete(parent, now);
+}
+
+void RaidComponent::advance_tick(Tick now, double dt) {
+  // 1. Disk array controller cache.
+  for (JobCtx ctx : dacc_.advance(dt).completed) {
+    auto* job = static_cast<RaidJob*>(ctx);
+    if (rng_.next_double() < spec_.dacc_hit_rate) {
+      complete(job, now);
+    } else {
+      fork(job);
+    }
+  }
+
+  // 2. Per-disk controller caches.
+  for (unsigned i = 0; i < spec_.disks; ++i) {
+    const double share_rate = 1.0;  // share already computed at fork time
+    (void)share_rate;
+    for (JobCtx ctx : dcc_[i].advance(dt).completed) {
+      auto* branch = static_cast<BranchJob*>(ctx);
+      if (rng_.next_double() < spec_.dcc_hit_rate) {
+        finish_branch(branch, now);
+      } else {
+        // Re-derive the branch share from the parent job.
+        const double share =
+            branch->parent->stage.work / static_cast<double>(spec_.disks);
+        hdd_[i].enqueue(share, branch);
+      }
+    }
+  }
+
+  // 3. Disk drives.
+  double disk_util = 0.0;
+  for (unsigned i = 0; i < spec_.disks; ++i) {
+    for (JobCtx ctx : hdd_[i].advance(dt).completed) {
+      finish_branch(static_cast<BranchJob*>(ctx), now);
+    }
+    disk_util += hdd_[i].last_utilization();
+  }
+  last_disk_utilization_ = disk_util / static_cast<double>(spec_.disks);
+}
+
+std::size_t RaidComponent::queue_length() const {
+  return live_jobs_.size();
+}
+
+}  // namespace gdisim

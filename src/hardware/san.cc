@@ -1,0 +1,98 @@
+#include "hardware/san.h"
+
+#include <stdexcept>
+
+namespace gdisim {
+
+SanComponent::SanComponent(const SanSpec& spec, Rng rng)
+    : spec_(spec),
+      rng_(rng),
+      fcsw_(1, spec.fcsw_rate_Bps),
+      dacc_(1, spec.dacc_rate_Bps),
+      fcal_(1, spec.fcal_rate_Bps) {
+  if (spec.disks == 0) throw std::invalid_argument("SanComponent: zero disks");
+  dcc_.reserve(spec.disks);
+  hdd_.reserve(spec.disks);
+  for (unsigned i = 0; i < spec.disks; ++i) {
+    dcc_.emplace_back(1, spec.dcc_rate_Bps);
+    hdd_.emplace_back(1, spec.hdd_rate_Bps);
+  }
+}
+
+SanComponent::~SanComponent() {
+  for (SanJob* job : live_jobs_) delete job;
+}
+
+void SanComponent::accept(StageJob job) {
+  auto* sj = new SanJob{job, 0};
+  live_jobs_.insert(sj);
+  fcsw_.enqueue(job.work, sj);
+}
+
+void SanComponent::complete(SanJob* job, Tick now) {
+  job->stage.handler->on_stage_complete(*this, now, job->stage.tag);
+  live_jobs_.erase(job);
+  delete job;
+}
+
+void SanComponent::finish_branch(BranchJob* branch, Tick now) {
+  SanJob* parent = branch->parent;
+  delete branch;
+  if (--parent->outstanding == 0) complete(parent, now);
+}
+
+void SanComponent::advance_tick(Tick now, double dt) {
+  // 1. Fiber channel switch -> disk array controller cache.
+  for (JobCtx ctx : fcsw_.advance(dt).completed) {
+    auto* job = static_cast<SanJob*>(ctx);
+    dacc_.enqueue(job->stage.work, job);
+  }
+
+  // 2. Controller cache: hit bypasses the loop and the disks.
+  for (JobCtx ctx : dacc_.advance(dt).completed) {
+    auto* job = static_cast<SanJob*>(ctx);
+    if (rng_.next_double() < spec_.dacc_hit_rate) {
+      complete(job, now);
+    } else {
+      fcal_.enqueue(job->stage.work, job);
+    }
+  }
+
+  // 3. Arbitrated loop -> fork across disks.
+  for (JobCtx ctx : fcal_.advance(dt).completed) {
+    auto* job = static_cast<SanJob*>(ctx);
+    job->outstanding = spec_.disks;
+    const double share = job->stage.work / static_cast<double>(spec_.disks);
+    for (unsigned i = 0; i < spec_.disks; ++i) dcc_[i].enqueue(share, new BranchJob{job});
+  }
+
+  // 4. Per-disk controller caches.
+  for (unsigned i = 0; i < spec_.disks; ++i) {
+    for (JobCtx ctx : dcc_[i].advance(dt).completed) {
+      auto* branch = static_cast<BranchJob*>(ctx);
+      if (rng_.next_double() < spec_.dcc_hit_rate) {
+        finish_branch(branch, now);
+      } else {
+        const double share =
+            branch->parent->stage.work / static_cast<double>(spec_.disks);
+        hdd_[i].enqueue(share, branch);
+      }
+    }
+  }
+
+  // 5. Disk drives.
+  double disk_util = 0.0;
+  for (unsigned i = 0; i < spec_.disks; ++i) {
+    for (JobCtx ctx : hdd_[i].advance(dt).completed) {
+      finish_branch(static_cast<BranchJob*>(ctx), now);
+    }
+    disk_util += hdd_[i].last_utilization();
+  }
+  last_disk_utilization_ = disk_util / static_cast<double>(spec_.disks);
+}
+
+std::size_t SanComponent::queue_length() const {
+  return live_jobs_.size();
+}
+
+}  // namespace gdisim

@@ -1,0 +1,29 @@
+#include "hardware/server.h"
+
+namespace gdisim {
+
+Server::Server(const ServerSpec& spec, std::string name, Rng rng, SanComponent* san)
+    : spec_(spec), name_(std::move(name)), san_(san) {
+  nic_ = std::make_unique<NicComponent>(spec.nic);
+  nic_->set_name(name_ + "/nic");
+  cpu_ = std::make_unique<CpuComponent>(spec.cpu);
+  cpu_->set_name(name_ + "/cpu");
+  memory_ = std::make_unique<MemoryComponent>(spec.memory);
+  if (spec.raid.has_value()) {
+    raid_ = std::make_unique<RaidComponent>(*spec.raid, rng.split("raid"));
+    raid_->set_name(name_ + "/raid");
+  }
+}
+
+Component* Server::storage() {
+  if (raid_) return raid_.get();
+  return san_;
+}
+
+std::vector<Component*> Server::owned_components() {
+  std::vector<Component*> out{nic_.get(), cpu_.get()};
+  if (raid_) out.push_back(raid_.get());
+  return out;
+}
+
+}  // namespace gdisim

@@ -1,0 +1,59 @@
+// Server holon (thesis §3.3.2): encapsulates a NIC, a multi-socket CPU,
+// memory, and either a local RAID or a reference to the data center's shared
+// SAN. The holon's state is the composition of its agents' states; the
+// server itself is not an agent.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "hardware/cpu.h"
+#include "hardware/memory.h"
+#include "hardware/nic.h"
+#include "hardware/raid.h"
+#include "hardware/san.h"
+
+namespace gdisim {
+
+struct ServerSpec {
+  CpuSpec cpu;
+  MemorySpec memory;
+  NicSpec nic;
+  /// Local storage; absent when the server uses the data center SAN.
+  std::optional<RaidSpec> raid;
+};
+
+class Server {
+ public:
+  /// `san` may be null; then `spec.raid` must be present for servers that
+  /// perform disk work.
+  Server(const ServerSpec& spec, std::string name, Rng rng, SanComponent* san);
+
+  NicComponent& nic() { return *nic_; }
+  CpuComponent& cpu() { return *cpu_; }
+  MemoryComponent& memory() { return *memory_; }
+
+  /// The storage component serving this server's Rd work (RAID or shared
+  /// SAN); null when the server has neither.
+  Component* storage();
+
+  const std::string& name() const { return name_; }
+  const ServerSpec& spec() const { return spec_; }
+
+  /// Agents owned by this holon (excludes the shared SAN).
+  std::vector<Component*> owned_components();
+
+ private:
+  ServerSpec spec_;
+  std::string name_;
+  std::unique_ptr<NicComponent> nic_;
+  std::unique_ptr<CpuComponent> cpu_;
+  std::unique_ptr<MemoryComponent> memory_;
+  std::unique_ptr<RaidComponent> raid_;
+  SanComponent* san_ = nullptr;
+};
+
+}  // namespace gdisim

@@ -1,0 +1,25 @@
+#include "metrics/collector.h"
+
+namespace gdisim {
+
+std::size_t Collector::add_probe(std::string label, Probe probe) {
+  probes_.push_back(std::move(probe));
+  series_.emplace_back(std::move(label));
+  return probes_.size() - 1;
+}
+
+void Collector::collect(Tick now) {
+  const double t = static_cast<double>(now) * tick_seconds_;
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    series_[i].append(t, probes_[i]());
+  }
+}
+
+const TimeSeries* Collector::find(const std::string& label) const {
+  for (const auto& s : series_) {
+    if (s.label() == label) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace gdisim

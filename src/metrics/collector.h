@@ -1,0 +1,38 @@
+// Collector Component (thesis §4.3.1): periodically samples registered
+// probes into time series. Wired to SimulationLoop::set_collect_callback;
+// the collection signal runs between phases, so probes may read agent state
+// without synchronization.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "metrics/series.h"
+
+namespace gdisim {
+
+class Collector {
+ public:
+  explicit Collector(double tick_seconds) : tick_seconds_(tick_seconds) {}
+
+  using Probe = std::function<double()>;
+
+  /// Registers a probe; returns its index.
+  std::size_t add_probe(std::string label, Probe probe);
+
+  /// The collection control signal.
+  void collect(Tick now);
+
+  const TimeSeries& series(std::size_t index) const { return series_[index]; }
+  const TimeSeries* find(const std::string& label) const;
+  std::size_t probe_count() const { return probes_.size(); }
+
+ private:
+  double tick_seconds_;
+  std::vector<Probe> probes_;
+  std::vector<TimeSeries> series_;
+};
+
+}  // namespace gdisim

@@ -1,0 +1,82 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace gdisim {
+
+TableReport::TableReport(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TableReport::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TableReport: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableReport::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TableReport::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void TableReport::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < width[c]; ++pad) os << ' ';
+      os << ' ';
+    }
+    os << "|\n";
+  };
+  line(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << "|-" << std::string(width[c], '-') << '-';
+  }
+  os << "|\n";
+  for (const auto& row : rows_) line(row);
+}
+
+void print_series(std::ostream& os, const TimeSeries& series, std::size_t max_rows) {
+  const auto& samples = series.samples();
+  if (samples.empty()) {
+    os << "(no samples)\n";
+    return;
+  }
+  const std::size_t stride = std::max<std::size_t>(1, samples.size() / max_rows);
+  os << "# " << series.label() << "\n";
+  for (std::size_t i = 0; i < samples.size(); i += stride) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%10.1f  %12.4f\n", samples[i].t_seconds, samples[i].value);
+    os << buf;
+  }
+}
+
+void print_csv(std::ostream& os, const std::vector<const TimeSeries*>& series) {
+  if (series.empty()) return;
+  os << "t_seconds";
+  for (const auto* s : series) os << ',' << s->label();
+  os << '\n';
+  std::size_t n = series[0]->size();
+  for (const auto* s : series) n = std::min(n, s->size());
+  for (std::size_t i = 0; i < n; ++i) {
+    os << series[0]->samples()[i].t_seconds;
+    for (const auto* s : series) os << ',' << s->samples()[i].value;
+    os << '\n';
+  }
+}
+
+}  // namespace gdisim

@@ -1,0 +1,35 @@
+// Plain-text table/series reporters used by the bench binaries to print the
+// rows and series the thesis tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/series.h"
+
+namespace gdisim {
+
+/// Fixed-width ASCII table.
+class TableReport {
+ public:
+  explicit TableReport(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a time series as "t  value" rows, optionally downsampled.
+void print_series(std::ostream& os, const TimeSeries& series, std::size_t max_rows = 48);
+
+/// CSV dump of several aligned series (first column: time).
+void print_csv(std::ostream& os, const std::vector<const TimeSeries*>& series);
+
+}  // namespace gdisim

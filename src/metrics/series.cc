@@ -1,0 +1,57 @@
+#include "metrics/series.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gdisim {
+
+TimeSeries TimeSeries::snapshot(std::size_t window) const {
+  TimeSeries out(label_);
+  if (window == 0) window = 1;
+  for (std::size_t i = 0; i + window <= samples_.size(); i += window) {
+    double sum = 0.0;
+    for (std::size_t j = i; j < i + window; ++j) sum += samples_[j].value;
+    out.append(samples_[i + window - 1].t_seconds, sum / static_cast<double>(window));
+  }
+  return out;
+}
+
+double TimeSeries::mean_between(double t0, double t1) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Sample& s : samples_) {
+    if (s.t_seconds >= t0 && s.t_seconds < t1) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::stddev_between(double t0, double t1) const {
+  const double mu = mean_between(t0, t1);
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const Sample& s : samples_) {
+    if (s.t_seconds >= t0 && s.t_seconds < t1) {
+      acc += (s.value - mu) * (s.value - mu);
+      ++n;
+    }
+  }
+  return n ? std::sqrt(acc / static_cast<double>(n)) : 0.0;
+}
+
+double TimeSeries::max_value() const {
+  double m = 0.0;
+  for (const Sample& s : samples_) m = std::max(m, s.value);
+  return m;
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const Sample& s : samples_) out.push_back(s.value);
+  return out;
+}
+
+}  // namespace gdisim

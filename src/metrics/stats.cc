@@ -1,0 +1,55 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gdisim {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double rmse(std::span<const double> physical, std::span<const double> simulated) {
+  const std::size_t n = std::min(physical.size(), simulated.size());
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = physical[i] - simulated[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+double rmse(const TimeSeries& physical, const TimeSeries& simulated) {
+  const auto a = physical.values();
+  const auto b = simulated.values();
+  return rmse(std::span<const double>(a), std::span<const double>(b));
+}
+
+double correlation(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  const double ma = mean(a.subspan(0, n));
+  const double mb = mean(b.subspan(0, n));
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  const double den = std::sqrt(da * db);
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace gdisim

@@ -1,0 +1,23 @@
+// Statistical helpers for the validation chapter: mean/stddev summaries and
+// the Root Mean Square Error of Eq. 5.5.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "metrics/series.h"
+
+namespace gdisim {
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+/// RMSE between paired samples (Eq. 5.5). Series are truncated to the
+/// shorter length.
+double rmse(std::span<const double> physical, std::span<const double> simulated);
+double rmse(const TimeSeries& physical, const TimeSeries& simulated);
+
+/// Pearson correlation (extra diagnostic, not in the thesis tables).
+double correlation(std::span<const double> a, std::span<const double> b);
+
+}  // namespace gdisim

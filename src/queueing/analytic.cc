@@ -1,0 +1,83 @@
+#include "queueing/analytic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gdisim::analytic {
+
+namespace {
+void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+}  // namespace
+
+double offered_load(double lambda, double mu) {
+  require(lambda >= 0 && mu > 0, "offered_load: need lambda >= 0, mu > 0");
+  return lambda / mu;
+}
+
+double erlang_c(unsigned c, double lambda, double mu) {
+  require(c > 0, "erlang_c: c == 0");
+  const double a = offered_load(lambda, mu);
+  const double rho = a / c;
+  require(rho < 1.0, "erlang_c: unstable queue (rho >= 1)");
+  // Iteratively compute a^c / c! relative to the partial sum to stay stable.
+  double term = 1.0;  // a^k / k! at k = 0
+  double sum = 1.0;
+  for (unsigned k = 1; k < c; ++k) {
+    term *= a / k;
+    sum += term;
+  }
+  term *= a / c;  // a^c / c!
+  const double numer = term / (1.0 - rho);
+  return numer / (sum + numer);
+}
+
+double mm1_mean_in_system(double lambda, double mu) {
+  const double rho = offered_load(lambda, mu);
+  require(rho < 1.0, "mm1: unstable");
+  return rho / (1.0 - rho);
+}
+
+double mm1_mean_response_time(double lambda, double mu) {
+  require(mu > lambda, "mm1: unstable");
+  return 1.0 / (mu - lambda);
+}
+
+double mm1_mean_wait(double lambda, double mu) {
+  require(mu > lambda, "mm1: unstable");
+  return offered_load(lambda, mu) / (mu - lambda);
+}
+
+double mmc_mean_wait(unsigned c, double lambda, double mu) {
+  const double pw = erlang_c(c, lambda, mu);
+  return pw / (c * mu - lambda);
+}
+
+double mmc_mean_response_time(unsigned c, double lambda, double mu) {
+  return mmc_mean_wait(c, lambda, mu) + 1.0 / mu;
+}
+
+double mmc_mean_in_system(unsigned c, double lambda, double mu) {
+  return lambda * mmc_mean_response_time(c, lambda, mu);
+}
+
+double mmc_utilization(unsigned c, double lambda, double mu) {
+  require(c > 0 && mu > 0, "mmc_utilization: bad parameters");
+  return lambda / (static_cast<double>(c) * mu);
+}
+
+double mm1_ps_mean_response_time(double lambda, double mu) {
+  return mm1_mean_response_time(lambda, mu);
+}
+
+double mm1k_blocking_probability(double lambda, double mu, unsigned k) {
+  require(mu > 0, "mm1k: mu <= 0");
+  const double rho = lambda / mu;
+  if (std::abs(rho - 1.0) < 1e-12) return 1.0 / (k + 1);
+  const double num = (1.0 - rho) * std::pow(rho, k);
+  const double den = 1.0 - std::pow(rho, k + 1);
+  return num / den;
+}
+
+}  // namespace gdisim::analytic

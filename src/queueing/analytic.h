@@ -1,0 +1,49 @@
+// Closed-form queueing theory results (Kendall's notation, thesis App. A).
+//
+// These are the *analytic models* of thesis Chapter 2 — the baseline
+// technique GDISim is contrasted against. They serve two purposes here:
+//   1. as the comparator implementation for the analytic-vs-simulation
+//      benchmarks and examples, and
+//   2. as oracles for property tests: the discrete-time queues must converge
+//      to these predictions under Poisson arrivals / exponential demands.
+#pragma once
+
+#include <cstdint>
+
+namespace gdisim::analytic {
+
+/// Offered load a = lambda / mu (Erlang).
+double offered_load(double lambda, double mu);
+
+/// Erlang-C: probability an arriving customer must wait in an M/M/c queue.
+double erlang_c(unsigned c, double lambda, double mu);
+
+/// M/M/1 mean number in system: rho / (1 - rho). Requires rho < 1.
+double mm1_mean_in_system(double lambda, double mu);
+
+/// M/M/1 mean response (sojourn) time: 1 / (mu - lambda).
+double mm1_mean_response_time(double lambda, double mu);
+
+/// M/M/1 mean waiting time in queue: rho / (mu - lambda).
+double mm1_mean_wait(double lambda, double mu);
+
+/// M/M/c mean waiting time in queue (Erlang-C / (c*mu - lambda)).
+double mmc_mean_wait(unsigned c, double lambda, double mu);
+
+/// M/M/c mean response time (wait + service).
+double mmc_mean_response_time(unsigned c, double lambda, double mu);
+
+/// M/M/c mean number in system (Little's law on response time).
+double mmc_mean_in_system(unsigned c, double lambda, double mu);
+
+/// Server utilization of an M/M/c queue: lambda / (c * mu).
+double mmc_utilization(unsigned c, double lambda, double mu);
+
+/// M/M/1-PS mean response time — identical to M/M/1-FCFS in the mean, but
+/// kept separate because callers reason about the PS discipline explicitly.
+double mm1_ps_mean_response_time(double lambda, double mu);
+
+/// M/M/1/K loss system: blocking probability (Erlang-like with finite room).
+double mm1k_blocking_probability(double lambda, double mu, unsigned k);
+
+}  // namespace gdisim::analytic

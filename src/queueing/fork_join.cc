@@ -1,0 +1,49 @@
+#include "queueing/fork_join.h"
+
+#include <stdexcept>
+
+namespace gdisim {
+
+ForkJoinQueue::ForkJoinQueue(unsigned branches, double rate_per_branch) {
+  if (branches == 0) throw std::invalid_argument("ForkJoinQueue: zero branches");
+  branches_.reserve(branches);
+  for (unsigned i = 0; i < branches; ++i) branches_.emplace_back(1, rate_per_branch);
+}
+
+ForkJoinQueue::~ForkJoinQueue() {
+  for (JoinState* join : live_joins_) delete join;
+}
+
+void ForkJoinQueue::enqueue(double work, JobCtx ctx) {
+  auto* join = new JoinState{branches(), ctx};
+  live_joins_.insert(join);
+  const double share = work / static_cast<double>(branches());
+  for (auto& branch : branches_) branch.enqueue(share, join);
+}
+
+AdvanceResult ForkJoinQueue::advance(double dt) {
+  AdvanceResult result;
+  double util_sum = 0.0;
+  for (auto& branch : branches_) {
+    AdvanceResult r = branch.advance(dt);
+    util_sum += branch.last_utilization();
+    for (JobCtx jc : r.completed) {
+      auto* join = static_cast<JoinState*>(jc);
+      if (--join->outstanding == 0) {
+        result.completed.push_back(join->ctx);
+        ++completed_jobs_;
+        live_joins_.erase(join);
+        delete join;
+      }
+    }
+    result.work_done += r.work_done;
+  }
+  last_utilization_ = util_sum / static_cast<double>(branches_.size());
+  return result;
+}
+
+std::size_t ForkJoinQueue::total_jobs() const {
+  return live_joins_.size();
+}
+
+}  // namespace gdisim

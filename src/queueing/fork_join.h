@@ -1,0 +1,51 @@
+// Fork-join array of FCFS queues — the n-way structure the thesis uses for
+// RAID disk arrays and SAN back-ends (§3.4.2, Figures 3-7/3-8): an incoming
+// request is striped across all branches and completes when every branch has
+// finished its share.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "queueing/fcfs_queue.h"
+#include "queueing/job.h"
+
+namespace gdisim {
+
+class ForkJoinQueue {
+ public:
+  /// `branches` parallel branches (disks), each a single-server FCFS queue
+  /// serving `rate_per_branch` work units per second.
+  ForkJoinQueue(unsigned branches, double rate_per_branch);
+  ~ForkJoinQueue();
+
+  ForkJoinQueue(const ForkJoinQueue&) = delete;
+  ForkJoinQueue& operator=(const ForkJoinQueue&) = delete;
+  ForkJoinQueue(ForkJoinQueue&&) = default;
+  ForkJoinQueue& operator=(ForkJoinQueue&&) = default;
+
+  /// Stripes `work` evenly across branches; `ctx` completes when all shares
+  /// have been served.
+  void enqueue(double work, JobCtx ctx);
+
+  AdvanceResult advance(double dt);
+
+  unsigned branches() const { return static_cast<unsigned>(branches_.size()); }
+  std::size_t total_jobs() const;
+  double last_utilization() const { return last_utilization_; }
+  std::uint64_t completed_jobs() const { return completed_jobs_; }
+
+ private:
+  struct JoinState {
+    unsigned outstanding;
+    JobCtx ctx;
+  };
+
+  std::vector<FcfsMultiServerQueue> branches_;
+  std::unordered_set<JoinState*> live_joins_;
+  double last_utilization_ = 0.0;
+  std::uint64_t completed_jobs_ = 0;
+};
+
+}  // namespace gdisim

@@ -1,0 +1,30 @@
+// Job abstraction shared by all queue disciplines.
+//
+// A job carries an amount of *work* in the unit the serving queue defines
+// (CPU cycles, bits on a link, bytes from a disk...). Queues are advanced in
+// discrete time steps; completed jobs are reported back to the owner via an
+// opaque context pointer, which the hardware layer maps to the in-flight
+// message/operation state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gdisim {
+
+/// Opaque owner context attached to a queued job.
+using JobCtx = void*;
+
+struct QueuedJob {
+  double remaining = 0.0;  ///< work left, in the queue's service unit
+  JobCtx ctx = nullptr;
+  std::uint64_t enqueue_seq = 0;  ///< FCFS tie-break / diagnostics
+};
+
+/// Result of advancing a queue by one time step.
+struct AdvanceResult {
+  std::vector<JobCtx> completed;  ///< jobs finished during the step, in order
+  double work_done = 0.0;         ///< total work served during the step
+};
+
+}  // namespace gdisim

@@ -1,0 +1,108 @@
+#include "queueing/kendall.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace gdisim {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& notation, const std::string& why) {
+  throw std::invalid_argument("Kendall notation '" + notation + "': " + why);
+}
+
+ArrivalProcess parse_arrival(const std::string& s, const std::string& notation) {
+  if (s == "M") return ArrivalProcess::kMarkov;
+  if (s == "D") return ArrivalProcess::kDeterministic;
+  if (s == "G" || s == "GI") return ArrivalProcess::kGeneral;
+  fail(notation, "unknown arrival process '" + s + "'");
+}
+
+ServiceProcess parse_service(const std::string& s, const std::string& notation) {
+  if (s == "M") return ServiceProcess::kMarkov;
+  if (s == "D") return ServiceProcess::kDeterministic;
+  if (s == "G") return ServiceProcess::kGeneral;
+  fail(notation, "unknown service process '" + s + "'");
+}
+
+unsigned parse_positive(const std::string& s, const std::string& notation, const char* what) {
+  if (s.empty()) fail(notation, std::string("empty ") + what);
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      fail(notation, std::string("non-numeric ") + what + " '" + s + "'");
+    }
+  }
+  const unsigned long v = std::stoul(s);
+  if (v == 0 || v > 1000000) fail(notation, std::string(what) + " out of range");
+  return static_cast<unsigned>(v);
+}
+
+}  // namespace
+
+std::string KendallSpec::to_string() const {
+  std::ostringstream os;
+  os << (arrival == ArrivalProcess::kMarkov ? "M"
+         : arrival == ArrivalProcess::kDeterministic ? "D" : "G");
+  os << '/'
+     << (service == ServiceProcess::kMarkov ? "M"
+         : service == ServiceProcess::kDeterministic ? "D" : "G");
+  os << '/' << servers;
+  if (capacity.has_value()) os << '/' << *capacity;
+  os << (discipline == Discipline::kProcessorSharing ? "-PS" : "-FCFS");
+  return os.str();
+}
+
+KendallSpec parse_kendall(const std::string& notation) {
+  std::string body = notation;
+  KendallSpec spec;
+
+  // Split off an optional "-DISC" suffix.
+  if (const auto dash = body.rfind('-'); dash != std::string::npos) {
+    const std::string disc = body.substr(dash + 1);
+    if (disc == "PS") {
+      spec.discipline = Discipline::kProcessorSharing;
+    } else if (disc == "FCFS") {
+      spec.discipline = Discipline::kFcfs;
+    } else {
+      fail(notation, "unknown discipline '" + disc + "'");
+    }
+    body = body.substr(0, dash);
+  }
+
+  std::vector<std::string> parts;
+  std::string field;
+  std::istringstream is(body);
+  while (std::getline(is, field, '/')) parts.push_back(field);
+  if (parts.size() < 3 || parts.size() > 4) {
+    fail(notation, "expected A/B/C or A/B/C/K factors");
+  }
+
+  spec.arrival = parse_arrival(parts[0], notation);
+  spec.service = parse_service(parts[1], notation);
+  spec.servers = parse_positive(parts[2], notation, "server count");
+  if (parts.size() == 4) spec.capacity = parse_positive(parts[3], notation, "capacity");
+  return spec;
+}
+
+std::unique_ptr<FcfsMultiServerQueue> make_fcfs_queue(const KendallSpec& spec,
+                                                      double rate_per_server) {
+  if (spec.discipline != Discipline::kFcfs) {
+    throw std::invalid_argument("make_fcfs_queue: spec discipline is not FCFS");
+  }
+  return std::make_unique<FcfsMultiServerQueue>(spec.servers, rate_per_server);
+}
+
+std::unique_ptr<PsQueue> make_ps_queue(const KendallSpec& spec, double total_rate,
+                                       double latency_seconds) {
+  if (spec.discipline != Discipline::kProcessorSharing) {
+    throw std::invalid_argument("make_ps_queue: spec discipline is not PS");
+  }
+  if (spec.servers != 1) {
+    throw std::invalid_argument("make_ps_queue: PS queues are single-server (M/M/1/k-PS)");
+  }
+  return std::make_unique<PsQueue>(total_rate, spec.capacity.value_or(0), latency_seconds);
+}
+
+}  // namespace gdisim

@@ -1,0 +1,52 @@
+// Kendall's notation (thesis Appendix A): parser for the A/B/C and
+// A/B/C/K/N-D forms used throughout the thesis ("M/M/c FCFS",
+// "M/M/1/k-PS", "M/G/1/K-PS", ...), mapped onto the discrete-time queue
+// implementations of this library.
+//
+// Supported:
+//   A (arrival process)  : M, D, G, GI    — informational; the simulator is
+//                                           trace/deterministic-demand driven
+//   B (service process)  : M, D, G
+//   C (servers)          : positive integer
+//   K (system capacity)  : positive integer (optional)
+//   discipline           : -FCFS (default) or -PS
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "queueing/fcfs_queue.h"
+#include "queueing/ps_queue.h"
+
+namespace gdisim {
+
+enum class ArrivalProcess { kMarkov, kDeterministic, kGeneral };
+enum class ServiceProcess { kMarkov, kDeterministic, kGeneral };
+enum class Discipline { kFcfs, kProcessorSharing };
+
+struct KendallSpec {
+  ArrivalProcess arrival = ArrivalProcess::kMarkov;
+  ServiceProcess service = ServiceProcess::kMarkov;
+  unsigned servers = 1;
+  std::optional<unsigned> capacity;  ///< K; absent = infinite
+  Discipline discipline = Discipline::kFcfs;
+
+  std::string to_string() const;
+};
+
+/// Parses e.g. "M/M/4", "M/M/1/32-PS", "G/G/2-FCFS".
+/// Throws std::invalid_argument on malformed input.
+KendallSpec parse_kendall(const std::string& notation);
+
+/// Materializes a FCFS spec into a queue serving `rate_per_server`.
+/// Throws if the spec's discipline is PS.
+std::unique_ptr<FcfsMultiServerQueue> make_fcfs_queue(const KendallSpec& spec,
+                                                      double rate_per_server);
+
+/// Materializes a PS spec (servers must be 1; capacity becomes the
+/// admission cap k) into a queue with the given total rate and latency.
+std::unique_ptr<PsQueue> make_ps_queue(const KendallSpec& spec, double total_rate,
+                                       double latency_seconds = 0.0);
+
+}  // namespace gdisim

@@ -1,0 +1,68 @@
+// Processor-Sharing queue with admission cap and propagation latency — the
+// M/M/1/k-PS model the thesis uses for network links (§3.4.2, Figure 3-6)
+// and the PS discipline used for time-shared CPUs in related analytic work.
+//
+// Up to `max_concurrent` jobs are served simultaneously, splitting the total
+// service rate equally; additional jobs wait FCFS for an admission slot.
+// After a job's work is fully served it remains in a latency pipe for the
+// configured propagation delay before completing (thesis: "the latency in
+// milliseconds is a constant value ... added to the processing time").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "queueing/job.h"
+
+namespace gdisim {
+
+class PsQueue {
+ public:
+  /// `total_rate`: work units per second shared among active jobs.
+  /// `max_concurrent`: admission cap k (0 means unlimited).
+  /// `latency_seconds`: constant delay appended after service.
+  PsQueue(double total_rate, std::size_t max_concurrent, double latency_seconds);
+
+  void enqueue(double work, JobCtx ctx);
+
+  AdvanceResult advance(double dt);
+
+  std::size_t active() const { return active_.size(); }
+  std::size_t waiting() const { return waiting_.size(); }
+  std::size_t in_latency() const { return latency_pipe_.size(); }
+  std::size_t total_jobs() const { return active() + waiting() + in_latency(); }
+
+  double total_rate() const { return total_rate_; }
+  double latency_seconds() const { return latency_seconds_; }
+  std::size_t max_concurrent() const { return max_concurrent_; }
+
+  /// Fraction of capacity used during the last advance().
+  double last_utilization() const { return last_utilization_; }
+  double busy_seconds() const { return busy_seconds_; }
+  double elapsed_seconds() const { return elapsed_seconds_; }
+  std::uint64_t completed_jobs() const { return completed_jobs_; }
+
+ private:
+  struct LatencyJob {
+    double remaining_delay;
+    JobCtx ctx;
+    std::uint64_t seq;
+  };
+
+  void admit_waiting();
+
+  double total_rate_;
+  std::size_t max_concurrent_;
+  double latency_seconds_;
+  std::vector<QueuedJob> active_;
+  std::deque<QueuedJob> waiting_;
+  std::vector<LatencyJob> latency_pipe_;
+  std::uint64_t seq_ = 0;
+  double last_utilization_ = 0.0;
+  double busy_seconds_ = 0.0;
+  double elapsed_seconds_ = 0.0;
+  std::uint64_t completed_jobs_ = 0;
+};
+
+}  // namespace gdisim

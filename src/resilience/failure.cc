@@ -1,0 +1,93 @@
+#include "resilience/failure.h"
+
+#include <stdexcept>
+
+namespace gdisim {
+
+FailureEvent FailureEvent::link_down(double at_s, DcId from, DcId to) {
+  FailureEvent e;
+  e.at_seconds = at_s;
+  e.kind = Kind::kLinkDown;
+  e.from = from;
+  e.to = to;
+  return e;
+}
+
+FailureEvent FailureEvent::link_up(double at_s, DcId from, DcId to) {
+  FailureEvent e = link_down(at_s, from, to);
+  e.kind = Kind::kLinkUp;
+  return e;
+}
+
+FailureEvent FailureEvent::server_down(double at_s, DcId dc, TierKind tier, std::size_t index) {
+  FailureEvent e;
+  e.at_seconds = at_s;
+  e.kind = Kind::kServerDown;
+  e.dc = dc;
+  e.tier = tier;
+  e.server_index = index;
+  return e;
+}
+
+FailureEvent FailureEvent::server_up(double at_s, DcId dc, TierKind tier, std::size_t index) {
+  FailureEvent e = server_down(at_s, dc, tier, index);
+  e.kind = Kind::kServerUp;
+  return e;
+}
+
+void FailureInjector::schedule(FailureEvent event) {
+  schedule_.push_back(event);
+  done_.push_back(false);
+}
+
+void FailureInjector::install(SimulationLoop& loop) {
+  const TickClock clock = loop.clock();
+  loop.add_pre_tick_hook([this, clock](Tick now) { apply_due(now, clock); });
+}
+
+std::size_t FailureInjector::pending() const {
+  std::size_t n = 0;
+  for (bool d : done_) {
+    if (!d) ++n;
+  }
+  return n;
+}
+
+void FailureInjector::apply_due(Tick now, const TickClock& clock) {
+  const double t = clock.to_seconds(now);
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    if (done_[i] || schedule_[i].at_seconds > t) continue;
+    apply(schedule_[i], t);
+    done_[i] = true;
+  }
+}
+
+void FailureInjector::apply(const FailureEvent& event, double at_seconds) {
+  AppliedFailure record;
+  record.at_seconds = at_seconds;
+  switch (event.kind) {
+    case FailureEvent::Kind::kLinkDown:
+      topology_->set_link_usable(event.from, event.to, false);
+      record.description = "link down: " + topology_->dc(event.from).name() + "->" +
+                           topology_->dc(event.to).name();
+      break;
+    case FailureEvent::Kind::kLinkUp:
+      topology_->set_link_usable(event.from, event.to, true);
+      record.description = "link up: " + topology_->dc(event.from).name() + "->" +
+                           topology_->dc(event.to).name();
+      break;
+    case FailureEvent::Kind::kServerDown:
+    case FailureEvent::Kind::kServerUp: {
+      Tier* tier = topology_->dc(event.dc).tier(event.tier);
+      if (tier == nullptr) throw std::logic_error("FailureInjector: no such tier");
+      const bool up = event.kind == FailureEvent::Kind::kServerUp;
+      tier->set_server_alive(event.server_index, up);
+      record.description = std::string(up ? "server up: " : "server down: ") + tier->name() +
+                           "/s" + std::to_string(event.server_index);
+      break;
+    }
+  }
+  applied_.push_back(std::move(record));
+}
+
+}  // namespace gdisim

@@ -1,0 +1,32 @@
+#include "sim/gdisim.h"
+
+#include <stdexcept>
+
+namespace gdisim {
+
+GdiSimulator::GdiSimulator(Scenario scenario, SimulatorConfig config)
+    : scenario_(std::move(scenario)), config_(config) {
+  if (scenario_.tick_seconds <= 0.0) {
+    throw std::invalid_argument("GdiSimulator: scenario has no tick length");
+  }
+  engine_ = std::make_unique<HDispatchEngine>(config_.threads, config_.agent_set_size);
+
+  SimLoopConfig loop_cfg;
+  loop_cfg.tick_seconds = scenario_.tick_seconds;
+  loop_cfg.collect_every =
+      std::max<Tick>(1, static_cast<Tick>(config_.collect_every_s / scenario_.tick_seconds));
+  loop_ = std::make_unique<SimulationLoop>(loop_cfg, *engine_);
+
+  scenario_.register_with(*loop_);
+
+  collector_ = std::make_unique<Collector>(scenario_.tick_seconds);
+  install_standard_probes(*collector_, scenario_);
+  Collector* collector = collector_.get();
+  loop_->set_collect_callback([collector](Tick now) { collector->collect(now); });
+}
+
+void GdiSimulator::run_for(double seconds) {
+  loop_->run_for_seconds(seconds);
+}
+
+}  // namespace gdisim

@@ -1,0 +1,48 @@
+// GdiSimulator: the top-level facade (thesis Figure 3-1).
+//
+// Takes a Scenario (software applications + background jobs + data centers +
+// global topology) and produces the output estimates: response times per
+// operation and location, CPU/memory utilization per tier, and network
+// utilization per link — all sampled by the collector.
+#pragma once
+
+#include <memory>
+
+#include "config/scenarios.h"
+#include "core/h_dispatch.h"
+#include "core/sim_loop.h"
+#include "metrics/collector.h"
+#include "metrics/report.h"
+
+namespace gdisim {
+
+struct SimulatorConfig {
+  /// Sampling period for the measurement-collection signal (thesis Ch. 5
+  /// samples every six seconds).
+  double collect_every_s = 6.0;
+  /// Worker threads for the H-Dispatch engine; 0 = run phases inline.
+  std::size_t threads = 0;
+  std::size_t agent_set_size = 64;
+};
+
+class GdiSimulator {
+ public:
+  GdiSimulator(Scenario scenario, SimulatorConfig config = {});
+
+  /// Advances the simulation by the given number of simulated seconds.
+  void run_for(double seconds);
+
+  double now_seconds() const { return loop_->now_seconds(); }
+  Scenario& scenario() { return scenario_; }
+  Collector& collector() { return *collector_; }
+  SimulationLoop& loop() { return *loop_; }
+
+ private:
+  Scenario scenario_;
+  SimulatorConfig config_;
+  std::unique_ptr<HDispatchEngine> engine_;
+  std::unique_ptr<SimulationLoop> loop_;
+  std::unique_ptr<Collector> collector_;
+};
+
+}  // namespace gdisim

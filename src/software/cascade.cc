@@ -1,0 +1,3 @@
+#include "software/cascade.h"
+
+namespace gdisim {}  // namespace gdisim

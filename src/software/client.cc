@@ -1,0 +1,180 @@
+#include "software/client.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gdisim {
+
+void BinnedResponse::record(double hour_of_day, double seconds) {
+  double h = std::fmod(hour_of_day, 24.0);
+  if (h < 0) h += 24.0;
+  int bin = static_cast<int>(h * 2.0);
+  if (bin >= kBins) bin = kBins - 1;
+  sum_[bin] += seconds;
+  ++count_[bin];
+}
+
+std::vector<std::pair<double, double>> BinnedResponse::series() const {
+  std::vector<std::pair<double, double>> out;
+  for (int b = 0; b < kBins; ++b) {
+    if (count_[b] == 0) continue;
+    out.emplace_back((b + 0.5) / 2.0, sum_[b] / static_cast<double>(count_[b]));
+  }
+  return out;
+}
+
+ClientPopulation::ClientPopulation(ClientPopulationConfig config, const OperationCatalog& catalog,
+                                   OperationContext& ctx, TickClock clock)
+    : config_(std::move(config)),
+      catalog_(&catalog),
+      ctx_(&ctx),
+      clock_(clock),
+      rng_(Rng(config_.seed).split(config_.name)) {
+  set_name("clients/" + config_.name);
+  if (config_.behavior == ClientBehavior::kSessionScript && config_.session_script.empty()) {
+    throw std::invalid_argument("ClientPopulation: session script behavior without a script");
+  }
+  const std::size_t cap = static_cast<std::size_t>(config_.curve.peak()) + 1;
+  slots_.resize(cap);
+  // Stagger session starting points so scripted clients do not stampede the
+  // same operation simultaneously.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].script_pos = static_cast<std::uint32_t>(
+        config_.session_script.empty() ? 0 : i % config_.session_script.size());
+  }
+  // Scanning every slot on every tick dominates large scenarios; a 0.25 s
+  // launch granularity is negligible against multi-second think times.
+  scan_every_ = std::max<Tick>(1, clock_.to_ticks(0.25));
+}
+
+void ClientPopulation::on_tick(Tick now) {
+  if (now < next_scan_) return;
+  next_scan_ = now + scan_every_;
+  const double hour = clock_.to_seconds(now) / 3600.0;
+  logged_in_ = static_cast<std::size_t>(std::lround(config_.curve.at_hour(hour)));
+  logged_in_ = std::min(logged_in_, slots_.size());
+  for (std::size_t i = 0; i < logged_in_; ++i) {
+    Slot& slot = slots_[i];
+    if (!slot.busy && slot.ready_at <= now) launch(i, now);
+  }
+}
+
+void ClientPopulation::launch(std::size_t slot_idx, Tick now) {
+  Slot& slot = slots_[slot_idx];
+  const std::string& op_name =
+      config_.behavior == ClientBehavior::kSessionScript
+          ? config_.session_script[slot.script_pos++ % config_.session_script.size()]
+          : config_.mix.sample(rng_.next_double());
+  double size_mb = config_.file_size_mb;
+  if (config_.file_size_jitter > 0.0) {
+    size_mb *= 1.0 + config_.file_size_jitter * (2.0 * rng_.next_double() - 1.0);
+  }
+  DcId owner = kInvalidDc;
+  if (owner_sampler_) owner = owner_sampler_(config_.dc, rng_.next_double());
+
+  LaunchParams params;
+  params.origin_dc = config_.dc;
+  params.owner_dc = owner;
+  params.size_mb = size_mb;
+  params.instance_serial = next_serial_++;
+  params.launcher_id = id();
+  params.rng_seed = stable_hash(config_.name) ^ (params.instance_serial * 0x9e3779b97f4a7c15ULL);
+
+  auto instance = std::make_unique<OperationInstance>(
+      catalog_->get(op_name), *ctx_, params,
+      [this, slot_idx](OperationInstance& inst, Tick end_tick) {
+        completions_.post(end_tick, id(), inst.params().instance_serial,
+                          CompletionMsg{&inst, slot_idx, end_tick});
+      });
+  OperationInstance* raw = instance.get();
+  live_.emplace(raw, std::move(instance));
+  slots_[slot_idx].busy = true;
+  ++active_;
+  if (recorder_) recorder_(clock_.to_seconds(now), op_name, config_.dc, owner, size_mb);
+  raw->start(now);
+}
+
+void ClientPopulation::on_interactions(Tick now) {
+  for (auto& d : completions_.drain_visible(now)) {
+    const CompletionMsg& msg = d.payload;
+    const double duration =
+        msg.instance->duration_seconds(clock_, msg.end_tick);
+    const double end_hour = clock_.to_seconds(msg.end_tick) / 3600.0;
+    const std::string& op = msg.instance->op_name();
+    stats_[op].record(duration);
+    binned_[op].record(end_hour, duration);
+    ++completed_;
+
+    Slot& slot = slots_[msg.slot];
+    slot.busy = false;
+    const double think = config_.think_model == ThinkTimeModel::kFixed
+                             ? config_.think_time_mean_s
+                             : rng_.next_exponential(config_.think_time_mean_s);
+    slot.ready_at = msg.end_tick + clock_.to_ticks(think);
+    --active_;
+    live_.erase(msg.instance);
+  }
+}
+
+SeriesLauncher::SeriesLauncher(SeriesLauncherConfig config, const OperationCatalog& catalog,
+                               OperationContext& ctx, TickClock clock)
+    : config_(std::move(config)),
+      catalog_(&catalog),
+      ctx_(&ctx),
+      clock_(clock),
+      rng_(Rng(config_.seed).split(config_.name)) {
+  set_name("series/" + config_.name);
+  interval_ticks_ = std::max<Tick>(1, clock_.to_ticks(config_.interval_s));
+  if (config_.stop_after_s >= 0.0) stop_tick_ = clock_.to_ticks(config_.stop_after_s);
+}
+
+void SeriesLauncher::on_tick(Tick now) {
+  if (now >= next_launch_ && now < stop_tick_ && !config_.series.empty()) {
+    launch_op(nullptr, Run{0}, now);
+    next_launch_ = now + interval_ticks_;
+  }
+}
+
+void SeriesLauncher::launch_op(OperationInstance* /*prev*/, Run run, Tick now) {
+  const SeriesOp& so = config_.series[run.next_op];
+
+  LaunchParams params;
+  params.origin_dc = config_.dc;
+  params.owner_dc = kInvalidDc;
+  params.size_mb = so.size_mb;
+  params.instance_serial = next_serial_++;
+  params.launcher_id = id();
+  params.rng_seed = stable_hash(config_.name) ^ (params.instance_serial * 0x9e3779b97f4a7c15ULL);
+
+  auto instance = std::make_unique<OperationInstance>(
+      catalog_->get(so.op), *ctx_, params,
+      [this](OperationInstance& inst, Tick end_tick) {
+        completions_.post(end_tick, id(), inst.params().instance_serial,
+                          CompletionMsg{&inst, end_tick});
+      });
+  OperationInstance* raw = instance.get();
+  live_.emplace(raw, std::move(instance));
+  runs_.emplace(raw, run);
+  raw->start(now);
+}
+
+void SeriesLauncher::on_interactions(Tick now) {
+  for (auto& d : completions_.drain_visible(now)) {
+    const CompletionMsg& msg = d.payload;
+    const double duration = msg.instance->duration_seconds(clock_, msg.end_tick);
+    stats_[msg.instance->op_name()].record(duration);
+
+    Run run = runs_.at(msg.instance);
+    runs_.erase(msg.instance);
+    live_.erase(msg.instance);
+
+    run.next_op += 1;
+    if (run.next_op < config_.series.size()) {
+      launch_op(nullptr, run, now);
+    } else {
+      ++series_completed_;
+    }
+  }
+}
+
+}  // namespace gdisim

@@ -1,0 +1,214 @@
+// Client holons: workload-driven operation launchers.
+//
+// ClientPopulation models the client population of one (application, data
+// center) pair: the logged-in count follows the workload curve; each client
+// cycles launch -> wait-for-completion -> think. SeriesLauncher reproduces
+// the Ch. 5 validation protocol: a new client enters every `interval` and
+// runs a fixed series of operations once.
+//
+// Both launchers receive completion callbacks on component worker threads;
+// those callbacks only post to the launcher's own inbox, and all state is
+// mutated in the launcher's own phases, keeping execution deterministic.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/rng.h"
+#include "software/catalog.h"
+#include "software/operation.h"
+#include "software/workload.h"
+
+namespace gdisim {
+
+/// Accumulated response-time statistics per operation type, plus half-hour
+/// binned means for the time-of-day figures (6-14..6-20).
+struct OpStats {
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  double sum_sq = 0.0;
+
+  void record(double s) {
+    if (count == 0) {
+      min_s = max_s = s;
+    } else {
+      if (s < min_s) min_s = s;
+      if (s > max_s) max_s = s;
+    }
+    ++count;
+    total_s += s;
+    sum_sq += s * s;
+  }
+  double mean() const { return count ? total_s / static_cast<double>(count) : 0.0; }
+};
+
+/// Mean response time per (operation, half-hour-of-day bin).
+class BinnedResponse {
+ public:
+  static constexpr int kBins = 48;
+  void record(double hour_of_day, double seconds);
+  /// (bin center hour, mean seconds) for bins with samples.
+  std::vector<std::pair<double, double>> series() const;
+
+ private:
+  std::array<double, kBins> sum_{};
+  std::array<std::uint64_t, kBins> count_{};
+};
+
+/// Samples the owning data center of the file an operation touches; used in
+/// Ch. 7 (multiple masters). Returns kInvalidDc for "the master".
+using OwnerSampler = std::function<DcId(DcId origin_dc, double uniform01)>;
+
+/// Observes every operation launch (time, op, origin, owner, size); used by
+/// the workload recorder (software/replay.h). Must be thread-safe: launches
+/// happen in parallel agent phases.
+using LaunchRecorder = std::function<void(double t_seconds, const std::string& op,
+                                          DcId origin, DcId owner, double size_mb)>;
+
+/// How a client chooses its next operation (thesis §9.2.1 extends the iid
+/// mix with realistic session behaviour).
+enum class ClientBehavior {
+  kIndependentMix,  ///< sample each operation iid from the mix
+  kSessionScript,   ///< each client walks `session_script` in order, looping
+};
+
+enum class ThinkTimeModel {
+  kExponential,  ///< memoryless think times (default)
+  kFixed,        ///< deterministic think times (clockwork clients)
+};
+
+struct ClientPopulationConfig {
+  std::string name;  ///< e.g. "CAD@NA"
+  DcId dc = 0;
+  WorkloadCurve curve;  ///< logged-in clients vs GMT hour
+  OperationMix mix;
+  double think_time_mean_s = 40.0;
+  double file_size_mb = 50.0;       ///< size of files moved by OPEN/SAVE/...
+  double file_size_jitter = 0.0;    ///< +- uniform fraction of file_size_mb
+  std::uint64_t seed = 1;
+  ClientBehavior behavior = ClientBehavior::kIndependentMix;
+  /// Ordered workflow for kSessionScript (e.g. LOGIN, TEXT-SEARCH, OPEN,
+  /// SAVE); each client starts at a deterministic offset so the population
+  /// does not move in lockstep.
+  std::vector<std::string> session_script;
+  ThinkTimeModel think_model = ThinkTimeModel::kExponential;
+};
+
+class ClientPopulation final : public Agent {
+ public:
+  ClientPopulation(ClientPopulationConfig config, const OperationCatalog& catalog,
+                   OperationContext& ctx, TickClock clock);
+
+  void on_tick(Tick now) override;
+  void on_interactions(Tick now) override;
+
+  void set_owner_sampler(OwnerSampler sampler) { owner_sampler_ = std::move(sampler); }
+  void set_launch_recorder(LaunchRecorder recorder) { recorder_ = std::move(recorder); }
+
+  /// Target logged-in population right now.
+  std::size_t logged_in() const { return logged_in_; }
+  /// Clients with an operation currently in flight.
+  std::size_t active() const { return active_; }
+
+  const std::map<std::string, OpStats>& stats() const { return stats_; }
+  const std::map<std::string, BinnedResponse>& binned() const { return binned_; }
+  const ClientPopulationConfig& config() const { return config_; }
+  std::uint64_t completed_operations() const { return completed_; }
+
+ private:
+  struct Slot {
+    Tick ready_at = 0;
+    bool busy = false;
+    std::uint32_t script_pos = 0;
+  };
+  struct CompletionMsg {
+    OperationInstance* instance;
+    std::size_t slot;
+    Tick end_tick;
+  };
+
+  void launch(std::size_t slot, Tick now);
+
+  ClientPopulationConfig config_;
+  const OperationCatalog* catalog_;
+  OperationContext* ctx_;
+  TickClock clock_;
+  Rng rng_;
+  OwnerSampler owner_sampler_;
+  LaunchRecorder recorder_;
+  std::vector<Slot> slots_;
+  Tick scan_every_ = 1;
+  Tick next_scan_ = 0;
+  std::unordered_map<OperationInstance*, std::unique_ptr<OperationInstance>> live_;
+  Inbox<CompletionMsg> completions_;
+  std::uint64_t next_serial_ = 0;
+  std::size_t logged_in_ = 0;
+  std::size_t active_ = 0;
+  std::uint64_t completed_ = 0;
+  std::map<std::string, OpStats> stats_;
+  std::map<std::string, BinnedResponse> binned_;
+};
+
+/// One entry of a Ch. 5 series: operation name + file size it manipulates.
+struct SeriesOp {
+  std::string op;
+  double size_mb = 0.0;
+};
+
+struct SeriesLauncherConfig {
+  std::string name;  ///< e.g. "light"
+  DcId dc = 0;
+  std::vector<SeriesOp> series;
+  double interval_s = 15.0;  ///< a new series client enters this often
+  double stop_after_s = -1.0;  ///< stop launching after this time (<0 = never)
+  std::uint64_t seed = 1;
+};
+
+class SeriesLauncher final : public Agent {
+ public:
+  SeriesLauncher(SeriesLauncherConfig config, const OperationCatalog& catalog,
+                 OperationContext& ctx, TickClock clock);
+
+  void on_tick(Tick now) override;
+  void on_interactions(Tick now) override;
+
+  /// Series currently in flight (the "concurrent clients" of Figure 5-6).
+  std::size_t concurrent() const { return runs_.size(); }
+  std::uint64_t series_completed() const { return series_completed_; }
+  const std::map<std::string, OpStats>& stats() const { return stats_; }
+
+ private:
+  struct Run {
+    std::size_t next_op = 0;
+  };
+  struct CompletionMsg {
+    OperationInstance* instance;
+    Tick end_tick;
+  };
+
+  void launch_op(OperationInstance* prev, Run run, Tick now);
+
+  SeriesLauncherConfig config_;
+  const OperationCatalog* catalog_;
+  OperationContext* ctx_;
+  TickClock clock_;
+  Rng rng_;
+  Tick next_launch_ = 0;
+  Tick interval_ticks_ = 1;
+  Tick stop_tick_ = kNeverTick;
+  std::unordered_map<OperationInstance*, std::unique_ptr<OperationInstance>> live_;
+  std::unordered_map<OperationInstance*, Run> runs_;
+  Inbox<CompletionMsg> completions_;
+  std::uint64_t next_serial_ = 0;
+  std::uint64_t series_completed_ = 0;
+  std::map<std::string, OpStats> stats_;
+};
+
+}  // namespace gdisim

@@ -1,0 +1,222 @@
+#include "software/operation.h"
+
+#include <stdexcept>
+
+namespace gdisim {
+
+namespace {
+
+TierKind role_tier(Role role) {
+  switch (role) {
+    case Role::AppServer: return TierKind::App;
+    case Role::DbServer: return TierKind::Db;
+    case Role::FileServer: return TierKind::Fs;
+    case Role::IdxServer: return TierKind::Idx;
+    default: throw std::logic_error("role_tier: not a server role");
+  }
+}
+
+}  // namespace
+
+DcId OperationContext::resolve_dc(const Endpoint& ep, DcId origin_dc, DcId owner_dc) const {
+  switch (ep.dc) {
+    case DcSelector::Local: return origin_dc;
+    case DcSelector::Owner: return owner_dc == kInvalidDc ? master_dc_ : owner_dc;
+    case DcSelector::Explicit: return ep.explicit_dc;
+  }
+  return origin_dc;
+}
+
+OperationContext::ResolvedServer OperationContext::resolve(const Endpoint& ep, DcId origin_dc,
+                                                           DcId owner_dc,
+                                                           std::uint64_t balance_key) const {
+  ResolvedServer out;
+  out.dc = resolve_dc(ep, origin_dc, owner_dc);
+  if (ep.role == Role::Client) return out;
+
+  const TierKind kind = role_tier(ep.role);
+  Tier* tier = topology_->dc(out.dc).tier(kind);
+  if (tier == nullptr) {
+    // Slave data centers have no app/db/idx tiers: such traffic is served
+    // by the master data center (thesis §6.3.1).
+    out.dc = master_dc_;
+    tier = topology_->dc(out.dc).tier(kind);
+    if (tier == nullptr) {
+      throw std::logic_error(std::string("OperationContext: no tier '") + tier_kind_name(kind) +
+                             "' anywhere for role resolution");
+    }
+  }
+  out.server = &tier->pick_server(balance_key);
+  return out;
+}
+
+OperationInstance::OperationInstance(const CascadeSpec& spec, OperationContext& ctx,
+                                     LaunchParams params, DoneFn done)
+    : spec_(&spec), ctx_(&ctx), params_(params), done_(std::move(done)) {
+  if (spec_->steps.empty()) throw std::invalid_argument("OperationInstance: empty cascade");
+}
+
+void OperationInstance::start(Tick now) {
+  start_tick_ = now;
+  step_idx_ = 0;
+  repeats_left_ = spec_->steps[0].repeat;
+  start_step(now);
+}
+
+void OperationInstance::start_step(Tick now) {
+  const Step& step = spec_->steps[step_idx_];
+  branches_.clear();
+  branches_.resize(step.branches.size());
+  branches_outstanding_.store(static_cast<unsigned>(step.branches.size()),
+                              std::memory_order_relaxed);
+  for (std::size_t b = 0; b < step.branches.size(); ++b) {
+    BranchState& br = branches_[b];
+    br.sequence = &step.branches[b];
+    br.msg_idx = 0;
+    br.rng = Rng(params_.rng_seed)
+                 .split(spec_->name)
+                 .split(std::to_string(step_idx_ * 1000 + b));
+    start_message(b, now);
+  }
+}
+
+void OperationInstance::start_message(std::size_t branch_idx, Tick now) {
+  BranchState& br = branches_[branch_idx];
+  // Loop past messages whose every stage was sub-tick ("instant").
+  while (br.msg_idx < br.sequence->messages.size()) {
+    const MessageSpec& m = br.sequence->messages[br.msg_idx];
+    br.stages = build_route(m, br);
+    br.stage_idx = 0;
+    if (!br.stages.empty()) {
+      submit_stage(branch_idx, now);
+      return;
+    }
+    finish_message(branch_idx, now);  // releases memory
+    ++br.msg_idx;
+  }
+  finish_branch(now);
+}
+
+void OperationInstance::submit_stage(std::size_t branch_idx, Tick now) {
+  BranchState& br = branches_[branch_idx];
+  const Stage& stage = br.stages[br.stage_idx];
+  // Per-branch sequence numbers keep inbox ordering deterministic even when
+  // sibling branches post concurrently from different worker threads.
+  const std::uint64_t seq = (params_.instance_serial << 24) |
+                            (static_cast<std::uint64_t>(branch_idx) << 16) | br.local_seq++;
+  stage.target->submit(now + 1, params_.launcher_id, seq,
+                       StageJob{stage.work, this, branch_idx, stage.parallelism});
+}
+
+void OperationInstance::on_stage_complete(Component& /*at*/, Tick now, std::uint64_t tag) {
+  const std::size_t branch_idx = static_cast<std::size_t>(tag);
+  BranchState& br = branches_[branch_idx];
+  if (++br.stage_idx < br.stages.size()) {
+    submit_stage(branch_idx, now);
+    return;
+  }
+  finish_message(branch_idx, now);
+  ++br.msg_idx;  // finish_message leaves msg_idx on the finished message
+  start_message(branch_idx, now);
+}
+
+void OperationInstance::finish_message(std::size_t branch_idx, Tick /*now*/) {
+  BranchState& br = branches_[branch_idx];
+  if (br.held_memory != nullptr) {
+    br.held_memory->release(br.held_bytes);
+    br.held_memory = nullptr;
+    br.held_bytes = 0.0;
+  }
+}
+
+void OperationInstance::finish_branch(Tick now) {
+  if (branches_outstanding_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Last branch of the step: advance the cascade.
+  if (--repeats_left_ > 0) {
+    start_step(now);
+    return;
+  }
+  if (++step_idx_ < spec_->steps.size()) {
+    repeats_left_ = spec_->steps[step_idx_].repeat;
+    start_step(now);
+    return;
+  }
+  if (done_) done_(*this, now + 1);
+}
+
+std::vector<OperationInstance::Stage> OperationInstance::build_route(const MessageSpec& m,
+                                                                     BranchState& br) {
+  const double size_mb = m.size_mb_override.value_or(params_.size_mb);
+  const ResourceVector cost = m.fixed + m.per_mb * size_mb;
+  Topology& topo = ctx_->topology();
+
+  const std::uint64_t from_key = br.rng.next_u64();
+  const std::uint64_t to_key = br.rng.next_u64();
+  const auto from = ctx_->resolve(m.from, params_.origin_dc, params_.owner_dc, from_key);
+  const auto to = ctx_->resolve(m.to, params_.origin_dc, params_.owner_dc, to_key);
+
+  const double tick = topo.dc(to.dc).dc_switch().tick_seconds();
+  const double instant_below = ctx_->instant_fraction() * tick;
+
+  std::vector<Stage> stages;
+  auto add = [&stages, instant_below](Component* c, double work) {
+    if (c == nullptr || work <= 0.0) return;
+    const double rate = c->single_job_rate();
+    if (rate > 0.0 && work / rate < instant_below) {
+      c->account_instant(work);
+      return;
+    }
+    stages.push_back(Stage{c, work});
+  };
+
+  const double bits = cost.net_bytes * 8.0;
+
+  // Origin-side egress (server NICs are shared resources; client NICs are
+  // folded into the client delay, thesis Eq. 3.3 note in DESIGN.md).
+  if (from.server != nullptr) add(&from.server->nic(), bits);
+
+  // WAN hops; a link stage always queues (never "instant") because its
+  // propagation latency applies even to tiny payloads.
+  for (LinkComponent* link : topo.route(from.dc, to.dc)) {
+    stages.push_back(Stage{link, bits});
+  }
+
+  // Destination data center fabric.
+  add(&topo.dc(to.dc).dc_switch(), bits);
+
+  if (to.server != nullptr) {
+    Tier* tier = topo.dc(to.dc).tier(role_tier(m.to.role));
+    if (tier != nullptr) add(&tier->local_link(), bits);
+    add(&to.server->nic(), bits);
+
+    // Memory occupancy is held from the start of destination processing
+    // until the message finishes (thesis Figure 3-5).
+    if (cost.mem_bytes > 0.0) {
+      to.server->memory().allocate(cost.mem_bytes);
+      br.held_memory = &to.server->memory();
+      br.held_bytes = cost.mem_bytes;
+    }
+
+    add(&to.server->cpu(), cost.cpu_cycles);
+    if (m.cpu_parallelism > 1 && !stages.empty() &&
+        stages.back().target == &to.server->cpu()) {
+      stages.back().parallelism = m.cpu_parallelism;
+    }
+
+    if (cost.disk_bytes > 0.0) {
+      const bool cache_hit =
+          to.server->memory().storage_access_hits_cache(br.rng.next_double());
+      if (!cache_hit) add(to.server->storage(), cost.disk_bytes);
+    }
+  } else {
+    // Client destination: contention-free processing delay in seconds.
+    const ClientMachineSpec& cm = topo.dc(to.dc).client_machine();
+    const double delay =
+        cost.cpu_cycles / cm.cpu_hz + cost.disk_bytes / cm.disk_Bps;
+    add(&topo.dc(to.dc).client_station(), delay);
+  }
+
+  return stages;
+}
+
+}  // namespace gdisim

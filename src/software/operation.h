@@ -1,0 +1,131 @@
+// Operation instances: the run-time execution of a message cascade.
+//
+// An OperationInstance walks its cascade step by step. Every message expands
+// into a *route* of hardware-component stages (origin NIC -> WAN links ->
+// destination switch -> tier link -> NIC -> CPU -> storage, with memory-cache
+// bypass and occupancy, per Eq. 3.2-3.5 of the thesis). Stage completions
+// arrive on whichever worker thread ticked the serving component; branch
+// state is only ever touched by the single thread holding that branch's
+// current stage, and step joins go through an atomic counter, so execution
+// is race-free and — thanks to per-branch sequence numbers — deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/types.h"
+#include "hardware/topology.h"
+#include "software/cascade.h"
+
+namespace gdisim {
+
+/// Resolves cascade endpoints to concrete hardware and builds stage routes.
+class OperationContext {
+ public:
+  OperationContext(Topology& topology, DcId master_dc)
+      : topology_(&topology), master_dc_(master_dc) {}
+
+  Topology& topology() { return *topology_; }
+  DcId master_dc() const { return master_dc_; }
+
+  /// Sub-tick threshold: a stage whose idle service time is below this
+  /// fraction of a tick is accounted-and-skipped instead of enqueued (see
+  /// hardware/component.h). 0 disables the optimization entirely.
+  double instant_fraction() const { return instant_fraction_; }
+  void set_instant_fraction(double f) { instant_fraction_ = f; }
+
+  /// Resolves an endpoint to a data center id. `Owner` falls back to the
+  /// MDC when owner_dc is invalid.
+  DcId resolve_dc(const Endpoint& ep, DcId origin_dc, DcId owner_dc) const;
+
+  /// The tier serving `role` for traffic resolved to `dc`; if the tier does
+  /// not exist there (slave data centers have no app/db/idx tiers) the
+  /// request is routed to the MDC's tier.
+  struct ResolvedServer {
+    DcId dc = kInvalidDc;
+    Server* server = nullptr;  ///< null when the endpoint is a client
+  };
+  ResolvedServer resolve(const Endpoint& ep, DcId origin_dc, DcId owner_dc,
+                         std::uint64_t balance_key) const;
+
+ private:
+  Topology* topology_;
+  DcId master_dc_;
+  double instant_fraction_ = 0.25;
+};
+
+struct LaunchParams {
+  DcId origin_dc = 0;
+  DcId owner_dc = kInvalidDc;  ///< kInvalidDc => master
+  double size_mb = 0.0;
+  std::uint64_t instance_serial = 0;  ///< per-launcher, deterministic
+  AgentId launcher_id = kInvalidAgent;
+  std::uint64_t rng_seed = 0;  ///< instance RNG stream seed
+};
+
+class OperationInstance final : public StageCompletionHandler {
+ public:
+  /// `done` is invoked from a worker thread when the operation finishes; it
+  /// must only perform thread-safe actions (typically an Inbox post).
+  using DoneFn = std::function<void(OperationInstance&, Tick end_tick)>;
+
+  OperationInstance(const CascadeSpec& spec, OperationContext& ctx, LaunchParams params,
+                    DoneFn done);
+
+  /// Launches the first step. Called from the launcher's tick phase at tick
+  /// `now`; all submissions become visible at now + 1.
+  void start(Tick now);
+
+  void on_stage_complete(Component& at, Tick now, std::uint64_t tag) override;
+
+  const std::string& op_name() const { return spec_->name; }
+  Tick start_tick() const { return start_tick_; }
+  const LaunchParams& params() const { return params_; }
+
+  /// Total simulated seconds, valid once done has fired.
+  double duration_seconds(const TickClock& clock, Tick end_tick) const {
+    return clock.to_seconds(end_tick - start_tick_);
+  }
+
+ private:
+  struct Stage {
+    Component* target = nullptr;
+    double work = 0.0;
+    unsigned parallelism = 1;
+  };
+  struct BranchState {
+    const Sequence* sequence = nullptr;
+    std::size_t msg_idx = 0;
+    std::vector<Stage> stages;
+    std::size_t stage_idx = 0;
+    std::uint32_t local_seq = 0;
+    MemoryComponent* held_memory = nullptr;
+    double held_bytes = 0.0;
+    Rng rng{0};
+  };
+
+  void start_step(Tick now);
+  void start_message(std::size_t branch_idx, Tick now);
+  void submit_stage(std::size_t branch_idx, Tick now);
+  void finish_message(std::size_t branch_idx, Tick now);
+  void finish_branch(Tick now);
+
+  /// Builds the component route for one message (Eq. 3.2-3.5).
+  std::vector<Stage> build_route(const MessageSpec& m, BranchState& branch);
+
+  const CascadeSpec* spec_;
+  OperationContext* ctx_;
+  LaunchParams params_;
+  DoneFn done_;
+  std::size_t step_idx_ = 0;
+  unsigned repeats_left_ = 0;
+  std::vector<BranchState> branches_;
+  std::atomic<unsigned> branches_outstanding_{0};
+  Tick start_tick_ = 0;
+};
+
+}  // namespace gdisim

@@ -1,0 +1,102 @@
+// Workload recording and replay.
+//
+// A WorkloadTrace captures every operation launch — time, operation, origin
+// data center, resolved owner and file size. Replaying the identical trace
+// against a *different* infrastructure is the purest form of the thesis'
+// "what if" methodology (Figure 1-1): same demand, changed hardware or
+// topology, directly comparable outputs.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+#include "software/catalog.h"
+#include "software/client.h"
+#include "software/operation.h"
+
+namespace gdisim {
+
+struct TraceEntry {
+  double t_seconds = 0.0;
+  std::string op;
+  DcId origin = 0;
+  DcId owner = kInvalidDc;
+  double size_mb = 0.0;
+  std::uint64_t serial = 0;  ///< recording order tie-break
+};
+
+class WorkloadTrace {
+ public:
+  WorkloadTrace() = default;
+  // Movable (the mutex only guards concurrent recording; moves happen while
+  // no recording is in progress).
+  WorkloadTrace(WorkloadTrace&& other) noexcept
+      : entries_(std::move(other.entries_)), next_serial_(other.next_serial_) {}
+  WorkloadTrace& operator=(WorkloadTrace&& other) noexcept {
+    entries_ = std::move(other.entries_);
+    next_serial_ = other.next_serial_;
+    return *this;
+  }
+
+  /// Thread-safe append (populations launch from parallel worker phases).
+  void record(TraceEntry entry);
+
+  /// Sorts entries by (time, origin, op, serial); call once after recording.
+  void finalize();
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// CSV round trip: "t_seconds,op,origin,owner,size_mb".
+  void save(std::ostream& os) const;
+  static WorkloadTrace load(std::istream& is);
+
+  /// Hook suitable for ClientPopulation::set_launch_recorder.
+  LaunchRecorder recorder();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEntry> entries_;
+  std::uint64_t next_serial_ = 0;
+};
+
+/// Agent that replays a finalized trace: each entry's operation is launched
+/// at its recorded instant with its recorded origin/owner/size.
+class TraceLauncher final : public Agent {
+ public:
+  TraceLauncher(const WorkloadTrace& trace, const OperationCatalog& catalog,
+                OperationContext& ctx, TickClock clock, std::uint64_t seed = 1);
+
+  void on_tick(Tick now) override;
+  void on_interactions(Tick now) override;
+
+  std::size_t launched() const { return cursor_; }
+  std::size_t in_flight() const { return live_.size(); }
+  std::uint64_t completed() const { return completed_; }
+  const std::map<std::string, OpStats>& stats() const { return stats_; }
+
+ private:
+  struct CompletionMsg {
+    OperationInstance* instance;
+    Tick end_tick;
+  };
+
+  const WorkloadTrace* trace_;
+  const OperationCatalog* catalog_;
+  OperationContext* ctx_;
+  TickClock clock_;
+  std::uint64_t seed_;
+  std::size_t cursor_ = 0;
+  std::unordered_map<OperationInstance*, std::unique_ptr<OperationInstance>> live_;
+  Inbox<CompletionMsg> completions_;
+  std::uint64_t completed_ = 0;
+  std::map<std::string, OpStats> stats_;
+};
+
+}  // namespace gdisim

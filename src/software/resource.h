@@ -1,0 +1,35 @@
+// The R parameter array (thesis §3.3.2/§3.5.2): hardware-agnostic resource
+// costs conveyed by each message of an operation.
+//
+// Costs are split into a fixed part and a per-megabyte part so a single
+// cascade definition covers the Light/Average/Heavy series of Ch. 5 and the
+// volume-driven background transfers of Ch. 6/7: the effective cost of a
+// message is fixed + per_mb * size_mb.
+#pragma once
+
+namespace gdisim {
+
+struct ResourceVector {
+  double cpu_cycles = 0.0;  ///< Rp — computation at the destination holon
+  double net_bytes = 0.0;   ///< Rt — bytes moved across NICs/switches/links
+  double mem_bytes = 0.0;   ///< Rm — memory held while the message is processed
+  double disk_bytes = 0.0;  ///< Rd — storage I/O at the destination holon
+
+  ResourceVector operator+(const ResourceVector& o) const {
+    return {cpu_cycles + o.cpu_cycles, net_bytes + o.net_bytes, mem_bytes + o.mem_bytes,
+            disk_bytes + o.disk_bytes};
+  }
+  ResourceVector operator*(double k) const {
+    return {cpu_cycles * k, net_bytes * k, mem_bytes * k, disk_bytes * k};
+  }
+};
+
+/// Convenience literals for cost tables.
+inline constexpr double KB = 1024.0;
+inline constexpr double MB = 1024.0 * 1024.0;
+inline constexpr double GB = 1024.0 * 1024.0 * 1024.0;
+inline constexpr double Kcycles = 1e3;
+inline constexpr double Mcycles = 1e6;
+inline constexpr double Gcycles = 1e9;
+
+}  // namespace gdisim

@@ -1,0 +1,87 @@
+#include "software/workload.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gdisim {
+
+WorkloadCurve WorkloadCurve::constant(double value) {
+  std::array<double, 24> h;
+  h.fill(value);
+  return WorkloadCurve(h);
+}
+
+WorkloadCurve WorkloadCurve::business_hours(double peak, double base, double start_hour,
+                                            double end_hour, double ramp_hours) {
+  std::array<double, 24> h;
+  const double shift_len = std::fmod(end_hour - start_hour + 24.0, 24.0);
+  for (int i = 0; i < 24; ++i) {
+    const double into = std::fmod(static_cast<double>(i) - start_hour + 24.0, 24.0);
+    double level = 0.0;
+    if (into <= shift_len) {
+      const double from_start = into;
+      const double to_end = shift_len - into;
+      level = 1.0;
+      if (from_start < ramp_hours) level = from_start / ramp_hours;
+      if (to_end < ramp_hours) level = std::min(level, to_end / ramp_hours);
+    }
+    h[i] = base + (peak - base) * level;
+  }
+  return WorkloadCurve(h);
+}
+
+double WorkloadCurve::at_hour(double hour) const {
+  double t = std::fmod(hour, 24.0);
+  if (t < 0) t += 24.0;
+  const int i0 = static_cast<int>(t) % 24;
+  const int i1 = (i0 + 1) % 24;
+  const double frac = t - std::floor(t);
+  return hourly_[i0] * (1.0 - frac) + hourly_[i1] * frac;
+}
+
+double WorkloadCurve::peak() const {
+  double m = 0.0;
+  for (double v : hourly_) m = std::max(m, v);
+  return m;
+}
+
+WorkloadCurve WorkloadCurve::scaled(double factor) const {
+  std::array<double, 24> h = hourly_;
+  for (double& v : h) v *= factor;
+  return WorkloadCurve(h);
+}
+
+OperationMix::OperationMix(std::vector<std::pair<std::string, double>> entries)
+    : entries_(std::move(entries)) {
+  double total = 0.0;
+  for (const auto& [name, w] : entries_) {
+    if (w < 0.0) throw std::invalid_argument("OperationMix: negative weight for " + name);
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("OperationMix: zero total weight");
+  double acc = 0.0;
+  cdf_.reserve(entries_.size());
+  for (auto& [name, w] : entries_) {
+    w /= total;
+    acc += w;
+    cdf_.push_back(acc);
+  }
+  cdf_.back() = 1.0;
+}
+
+OperationMix OperationMix::uniform(const std::vector<std::string>& ops) {
+  std::vector<std::pair<std::string, double>> entries;
+  entries.reserve(ops.size());
+  for (const auto& op : ops) entries.emplace_back(op, 1.0);
+  return OperationMix(std::move(entries));
+}
+
+const std::string& OperationMix::sample(double uniform01) const {
+  if (entries_.empty()) throw std::logic_error("OperationMix: empty");
+  for (std::size_t i = 0; i < cdf_.size(); ++i) {
+    if (uniform01 < cdf_[i]) return entries_[i].first;
+  }
+  return entries_.back().first;
+}
+
+}  // namespace gdisim

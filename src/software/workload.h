@@ -1,0 +1,62 @@
+// Application workload model (thesis §3.5.1, Figures 3-10 and 6-5..6-7).
+//
+// A WorkloadCurve gives the number of logged-in clients as a function of the
+// GMT hour of day (piecewise-linear over 24 hourly control points, periodic).
+// An OperationMix gives the distribution of operation types launched by
+// active clients.
+#pragma once
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gdisim {
+
+class WorkloadCurve {
+ public:
+  WorkloadCurve() { hourly_.fill(0.0); }
+  explicit WorkloadCurve(const std::array<double, 24>& hourly) : hourly_(hourly) {}
+
+  static WorkloadCurve constant(double value);
+
+  /// Business-hours trapezoid: ramps from `base` to `peak` over `ramp_hours`
+  /// starting at `start_hour` (GMT), stays at peak, and ramps down to finish
+  /// at `end_hour`. Handles shifts that wrap midnight (e.g. Australia).
+  static WorkloadCurve business_hours(double peak, double base, double start_hour,
+                                      double end_hour, double ramp_hours = 2.0);
+
+  /// Linear interpolation between hourly control points; periodic in 24 h.
+  double at_hour(double hour) const;
+  double at_seconds(double seconds_since_midnight) const {
+    return at_hour(seconds_since_midnight / 3600.0);
+  }
+
+  double peak() const;
+  const std::array<double, 24>& hourly() const { return hourly_; }
+
+  WorkloadCurve scaled(double factor) const;
+
+ private:
+  std::array<double, 24> hourly_;
+};
+
+class OperationMix {
+ public:
+  OperationMix() = default;
+  explicit OperationMix(std::vector<std::pair<std::string, double>> entries);
+
+  static OperationMix uniform(const std::vector<std::string>& ops);
+
+  /// Deterministic inverse-CDF sampling from a uniform in [0, 1).
+  const std::string& sample(double uniform01) const;
+
+  const std::vector<std::pair<std::string, double>>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;  // normalized weights
+  std::vector<double> cdf_;
+};
+
+}  // namespace gdisim

@@ -1,0 +1,104 @@
+#include "background/file_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace gdisim {
+namespace {
+
+TEST(StalenessDistribution, MomentsAndMax) {
+  StalenessDistribution d;
+  d.record(30.0);
+  d.record(90.0);
+  d.record(150.0);
+  EXPECT_EQ(d.count(), 3u);
+  EXPECT_NEAR(d.mean_s(), 90.0, 1e-9);
+  EXPECT_DOUBLE_EQ(d.max_s(), 150.0);
+}
+
+TEST(StalenessDistribution, PercentileFromHistogram) {
+  StalenessDistribution d;
+  for (int i = 0; i < 99; ++i) d.record(10.0);  // first bin (0-30 s)
+  d.record(3000.0);                             // far tail
+  EXPECT_LE(d.percentile_s(0.5), 30.0);
+  EXPECT_GE(d.percentile_s(0.999), 2990.0);
+}
+
+TEST(StalenessDistribution, MergeAccumulates) {
+  StalenessDistribution a, b;
+  a.record(10.0);
+  b.record(100.0);
+  b.record(200.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.max_s(), 200.0);
+  EXPECT_NEAR(a.mean_s(), (10.0 + 100.0 + 200.0) / 3.0, 1e-9);
+}
+
+TEST(StalenessDistribution, EmptyIsZero) {
+  StalenessDistribution d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_DOUBLE_EQ(d.mean_s(), 0.0);
+  EXPECT_DOUBLE_EQ(d.percentile_s(0.95), 0.0);
+}
+
+DataGrowthModel constant_growth(double mb_per_hour, std::size_t dcs) {
+  DataGrowthModel g;
+  for (DcId d = 0; d < dcs; ++d) g.set_curve(d, WorkloadCurve::constant(mb_per_hour));
+  g.set_average_file_mb(50.0);
+  return g;
+}
+
+TEST(FileTracker, MaterializesFilesFromVolume) {
+  // 1200 MB/h per DC, 2 DCs, 15-min window => 600 MB => 12 files of 50 MB.
+  FileTracker tracker(constant_growth(1200.0, 2), AccessPatternMatrix(), {0, 1}, 0, 7);
+  tracker.on_sync_complete(0, 10.0, 10.25, 10.5);
+  EXPECT_EQ(tracker.total_files(), 12u);
+}
+
+TEST(FileTracker, StalenessBoundedByWindowAndCompletion) {
+  FileTracker tracker(constant_growth(2400.0, 1), AccessPatternMatrix(), {0}, 0, 7);
+  // Covered (10.0, 10.25], done at 10.5: staleness in [0.25 h, 0.5 h].
+  tracker.on_sync_complete(0, 10.0, 10.25, 10.5);
+  const StalenessDistribution& d = tracker.staleness(0);
+  ASSERT_GT(d.count(), 0u);
+  EXPECT_GE(d.mean_s(), 0.25 * 3600.0);
+  EXPECT_LE(d.max_s(), 0.50 * 3600.0 + 1.0);
+}
+
+TEST(FileTracker, SingleOwnerGetsEverything) {
+  FileTracker tracker(constant_growth(1200.0, 3), AccessPatternMatrix(), {0, 1, 2}, 2, 7);
+  tracker.on_sync_complete(2, 0.0, 1.0, 1.2);
+  EXPECT_EQ(tracker.staleness(2).count(), 3u * 24u);  // 1200 MB / 50 MB per DC
+  EXPECT_EQ(tracker.staleness(0).count(), 0u);
+  tracker.on_sync_complete(0, 0.0, 1.0, 1.2);  // not the single owner
+  EXPECT_EQ(tracker.staleness(0).count(), 0u);
+}
+
+TEST(FileTracker, ApmPartitionsOwnership) {
+  AccessPatternMatrix apm({{75.0, 25.0}, {25.0, 75.0}});
+  FileTracker tracker(constant_growth(4000.0, 2), apm, {0, 1}, 0, 7);
+  tracker.on_sync_complete(0, 0.0, 1.0, 1.1);
+  tracker.on_sync_complete(1, 0.0, 1.0, 1.1);
+  // Owner 0: 0.75*4000 + 0.25*4000 = 4000 MB => 80 files; same for owner 1.
+  EXPECT_EQ(tracker.staleness(0).count(), 80u);
+  EXPECT_EQ(tracker.staleness(1).count(), 80u);
+  EXPECT_EQ(tracker.pooled().count(), 160u);
+}
+
+TEST(FileTracker, DeterministicAcrossInstances) {
+  auto run = [] {
+    FileTracker t(constant_growth(3000.0, 2), AccessPatternMatrix(), {0, 1}, 0, 99);
+    t.on_sync_complete(0, 5.0, 5.25, 5.6);
+    return t.staleness(0).mean_s();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(FileTracker, EmptyWindowIsNoop) {
+  FileTracker tracker(constant_growth(1200.0, 1), AccessPatternMatrix(), {0}, 0, 7);
+  tracker.on_sync_complete(0, 3.0, 3.0, 3.1);
+  EXPECT_EQ(tracker.total_files(), 0u);
+}
+
+}  // namespace
+}  // namespace gdisim

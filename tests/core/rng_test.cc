@@ -1,0 +1,119 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace gdisim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.next_exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng r(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(r.next_exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(19);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.next_normal(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(42), b(42);
+  Rng sa = a.split("purpose");
+  Rng sb = b.split("purpose");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sa.next_u64(), sb.next_u64());
+}
+
+TEST(Rng, SplitDifferentPurposesDiverge) {
+  Rng a(42);
+  Rng s1 = a.split("one");
+  Rng s2 = a.split("two");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s1.next_u64() == s2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIndependentOfParentConsumption) {
+  // split() must not advance the parent stream.
+  Rng a(42);
+  Rng b(42);
+  (void)a.split("x");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(StableHash, StableKnownValues) {
+  // FNV-1a must be stable across platforms/runs.
+  EXPECT_EQ(stable_hash(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(stable_hash("a"), stable_hash("b"));
+  EXPECT_EQ(stable_hash("gdisim"), stable_hash("gdisim"));
+}
+
+}  // namespace
+}  // namespace gdisim

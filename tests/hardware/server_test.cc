@@ -1,0 +1,64 @@
+#include "hardware/server.h"
+
+#include <gtest/gtest.h>
+
+#include "config/spec.h"
+
+namespace gdisim {
+namespace {
+
+ServerSpec raid_spec() { return make_server_spec(TierNotation{1, 8, 32.0}, true); }
+ServerSpec san_spec() { return make_server_spec(TierNotation{1, 8, 32.0}, false); }
+
+TEST(Server, LocalRaidIsTheStorage) {
+  Server server(raid_spec(), "s0", Rng(1), nullptr);
+  ASSERT_NE(server.storage(), nullptr);
+  EXPECT_NE(server.storage(), static_cast<Component*>(&server.nic()));
+  // nic + cpu + raid owned.
+  EXPECT_EQ(server.owned_components().size(), 3u);
+}
+
+TEST(Server, SharedSanIsTheStorageWhenNoRaid) {
+  SanComponent san(SanSpec{}, Rng(2));
+  Server server(san_spec(), "s0", Rng(1), &san);
+  EXPECT_EQ(server.storage(), static_cast<Component*>(&san));
+  // Only nic + cpu owned; the SAN belongs to the data center.
+  EXPECT_EQ(server.owned_components().size(), 2u);
+}
+
+TEST(Server, NoStorageAtAll) {
+  Server server(san_spec(), "s0", Rng(1), nullptr);
+  EXPECT_EQ(server.storage(), nullptr);
+}
+
+TEST(Server, ComponentNamesDeriveFromServerName) {
+  Server server(raid_spec(), "dc/app/s3", Rng(1), nullptr);
+  EXPECT_EQ(server.nic().name(), "dc/app/s3/nic");
+  EXPECT_EQ(server.cpu().name(), "dc/app/s3/cpu");
+}
+
+TEST(Server, SpecPlumbing) {
+  Server server(raid_spec(), "s0", Rng(1), nullptr);
+  EXPECT_EQ(server.cpu().spec().sockets, 2u);
+  EXPECT_EQ(server.cpu().spec().cores_per_socket, 4u);
+  EXPECT_DOUBLE_EQ(server.memory().spec().capacity_bytes, 32.0 * (1ull << 30));
+}
+
+TEST(Server, MemoryIsPerServer) {
+  Server a(raid_spec(), "a", Rng(1), nullptr);
+  Server b(raid_spec(), "b", Rng(2), nullptr);
+  a.memory().allocate(1e6);
+  EXPECT_NEAR(a.memory().occupied_bytes(), 1e6, 1.0);
+  EXPECT_DOUBLE_EQ(b.memory().occupied_bytes(), 0.0);
+}
+
+TEST(CpuSpecNotation, SocketSplit) {
+  // < 8 cores: single socket; >= 8: dual socket (thesis examples).
+  EXPECT_EQ(make_server_spec(TierNotation{1, 4, 16.0}, true).cpu.sockets, 1u);
+  EXPECT_EQ(make_server_spec(TierNotation{1, 8, 16.0}, true).cpu.sockets, 2u);
+  EXPECT_EQ(make_server_spec(TierNotation{1, 48, 16.0}, true).cpu.sockets, 2u);
+  EXPECT_EQ(make_server_spec(TierNotation{1, 48, 16.0}, true).cpu.cores_per_socket, 24u);
+}
+
+}  // namespace
+}  // namespace gdisim

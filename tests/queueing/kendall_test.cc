@@ -1,0 +1,70 @@
+#include "queueing/kendall.h"
+
+#include <gtest/gtest.h>
+
+namespace gdisim {
+namespace {
+
+TEST(Kendall, ParsesThreeFactorForm) {
+  KendallSpec s = parse_kendall("M/M/4");
+  EXPECT_EQ(s.arrival, ArrivalProcess::kMarkov);
+  EXPECT_EQ(s.service, ServiceProcess::kMarkov);
+  EXPECT_EQ(s.servers, 4u);
+  EXPECT_FALSE(s.capacity.has_value());
+  EXPECT_EQ(s.discipline, Discipline::kFcfs);
+}
+
+TEST(Kendall, ParsesCapacityAndDiscipline) {
+  KendallSpec s = parse_kendall("M/M/1/32-PS");
+  EXPECT_EQ(s.servers, 1u);
+  ASSERT_TRUE(s.capacity.has_value());
+  EXPECT_EQ(*s.capacity, 32u);
+  EXPECT_EQ(s.discipline, Discipline::kProcessorSharing);
+}
+
+TEST(Kendall, ParsesGeneralAndDeterministicProcesses) {
+  EXPECT_EQ(parse_kendall("G/G/2").arrival, ArrivalProcess::kGeneral);
+  EXPECT_EQ(parse_kendall("GI/M/1").arrival, ArrivalProcess::kGeneral);
+  EXPECT_EQ(parse_kendall("D/M/1").arrival, ArrivalProcess::kDeterministic);
+  EXPECT_EQ(parse_kendall("M/D/1").service, ServiceProcess::kDeterministic);
+  EXPECT_EQ(parse_kendall("M/G/1-PS").service, ServiceProcess::kGeneral);
+}
+
+TEST(Kendall, RoundTripsToString) {
+  for (const char* n : {"M/M/4-FCFS", "M/M/1/32-PS", "G/G/2-FCFS", "M/G/1-PS", "D/M/7-FCFS"}) {
+    EXPECT_EQ(parse_kendall(n).to_string(), n);
+  }
+}
+
+TEST(Kendall, RejectsMalformedNotation) {
+  for (const char* bad : {"", "M", "M/M", "X/M/1", "M/X/1", "M/M/0", "M/M/-1", "M/M/abc",
+                          "M/M/1/0", "M/M/1/2/3/4", "M/M/1-LIFO"}) {
+    EXPECT_THROW(parse_kendall(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Kendall, MaterializesFcfsQueue) {
+  auto q = make_fcfs_queue(parse_kendall("M/M/3"), 100.0);
+  EXPECT_EQ(q->servers(), 3u);
+  EXPECT_DOUBLE_EQ(q->rate_per_server(), 100.0);
+  EXPECT_THROW(make_fcfs_queue(parse_kendall("M/M/1-PS"), 1.0), std::invalid_argument);
+}
+
+TEST(Kendall, MaterializesPsQueue) {
+  auto q = make_ps_queue(parse_kendall("M/M/1/8-PS"), 1e6, 0.01);
+  EXPECT_EQ(q->max_concurrent(), 8u);
+  EXPECT_DOUBLE_EQ(q->total_rate(), 1e6);
+  EXPECT_DOUBLE_EQ(q->latency_seconds(), 0.01);
+  EXPECT_THROW(make_ps_queue(parse_kendall("M/M/1"), 1.0), std::invalid_argument);
+  EXPECT_THROW(make_ps_queue(parse_kendall("M/M/2-PS"), 1.0), std::invalid_argument);
+}
+
+TEST(Kendall, ThesisNotationsAllParse) {
+  // Every queue family named in thesis §3.4.2 / Ch. 2.
+  for (const char* n : {"M/M/4", "M/M/1", "M/M/1/64-PS", "M/G/1-PS", "G/G/1", "M/M/1/20"}) {
+    EXPECT_NO_THROW(parse_kendall(n)) << n;
+  }
+}
+
+}  // namespace
+}  // namespace gdisim

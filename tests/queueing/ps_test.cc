@@ -1,0 +1,128 @@
+#include "queueing/ps_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace gdisim {
+namespace {
+
+int ctx_id(JobCtx c) { return static_cast<int>(reinterpret_cast<std::intptr_t>(c)); }
+JobCtx make_ctx(int i) { return reinterpret_cast<JobCtx>(static_cast<std::intptr_t>(i)); }
+
+TEST(PsQueue, SingleJobGetsFullRate) {
+  PsQueue q(100.0, 0, 0.0);
+  q.enqueue(100.0, make_ctx(1));
+  auto r = q.advance(1.0);
+  ASSERT_EQ(r.completed.size(), 1u);
+}
+
+TEST(PsQueue, TwoJobsShareBandwidth) {
+  PsQueue q(100.0, 0, 0.0);
+  q.enqueue(100.0, make_ctx(1));
+  q.enqueue(100.0, make_ctx(2));
+  auto r = q.advance(1.0);
+  EXPECT_TRUE(r.completed.empty());  // each got 50 of 100 units
+  r = q.advance(1.0);
+  EXPECT_EQ(r.completed.size(), 2u);
+}
+
+TEST(PsQueue, ShortJobFinishesEarlyAndReleasesShare) {
+  // Job A: 10 units, job B: 100 units, rate 100/s. A finishes at t=0.2
+  // (share 50/s); B then gets the full rate: served 10 + 80 = 90 by t=1.0,
+  // finishing at t ~ 1.1.
+  PsQueue q(100.0, 0, 0.0);
+  q.enqueue(10.0, make_ctx(1));
+  q.enqueue(100.0, make_ctx(2));
+  auto r = q.advance(1.0);
+  ASSERT_EQ(r.completed.size(), 1u);
+  EXPECT_EQ(ctx_id(r.completed[0]), 1);
+  r = q.advance(0.15);
+  ASSERT_EQ(r.completed.size(), 1u);
+  EXPECT_EQ(ctx_id(r.completed[0]), 2);
+}
+
+TEST(PsQueue, AdmissionCapLimitsActiveSet) {
+  PsQueue q(100.0, 2, 0.0);
+  for (int i = 0; i < 5; ++i) q.enqueue(50.0, make_ctx(i));
+  EXPECT_EQ(q.active(), 2u);
+  EXPECT_EQ(q.waiting(), 3u);
+  // The two active jobs each get 50/s -> both finish in 1s; two more admit.
+  auto r = q.advance(1.0);
+  EXPECT_EQ(r.completed.size(), 2u);
+  EXPECT_EQ(q.active(), 2u);
+  EXPECT_EQ(q.waiting(), 1u);
+}
+
+TEST(PsQueue, LatencyDelaysCompletion) {
+  PsQueue q(100.0, 0, 0.5);
+  q.enqueue(100.0, make_ctx(1));
+  auto r = q.advance(1.0);  // service done exactly at t=1.0
+  EXPECT_TRUE(r.completed.empty());
+  r = q.advance(0.4);
+  EXPECT_TRUE(r.completed.empty());
+  r = q.advance(0.2);
+  EXPECT_EQ(r.completed.size(), 1u);
+}
+
+TEST(PsQueue, ZeroWorkJobOnlyPaysLatency) {
+  PsQueue q(100.0, 0, 0.3);
+  q.enqueue(0.0, make_ctx(1));
+  EXPECT_EQ(q.in_latency(), 1u);
+  auto r = q.advance(0.2);
+  EXPECT_TRUE(r.completed.empty());
+  r = q.advance(0.2);
+  EXPECT_EQ(r.completed.size(), 1u);
+}
+
+TEST(PsQueue, MidStepFinishNotOverchargedLatency) {
+  // Service finishes at t=0.1 within a 1.0 s step; latency 0.95 s means the
+  // job must NOT complete inside this step (0.1 + 0.95 > 1.0).
+  PsQueue q(100.0, 0, 0.95);
+  q.enqueue(10.0, make_ctx(1));
+  auto r = q.advance(1.0);
+  EXPECT_TRUE(r.completed.empty());
+  r = q.advance(0.06);
+  EXPECT_EQ(r.completed.size(), 1u);
+}
+
+TEST(PsQueue, UtilizationReflectsLoad) {
+  PsQueue q(100.0, 0, 0.0);
+  q.enqueue(25.0, make_ctx(1));
+  q.advance(1.0);
+  EXPECT_NEAR(q.last_utilization(), 0.25, 1e-9);
+}
+
+TEST(PsQueue, CompletionOrderFifoAmongEqualJobs) {
+  PsQueue q(100.0, 0, 0.0);
+  q.enqueue(50.0, make_ctx(1));
+  q.enqueue(50.0, make_ctx(2));
+  auto r = q.advance(1.0);
+  ASSERT_EQ(r.completed.size(), 2u);
+  EXPECT_EQ(ctx_id(r.completed[0]), 1);
+  EXPECT_EQ(ctx_id(r.completed[1]), 2);
+}
+
+TEST(PsQueue, RejectsInvalidConstruction) {
+  EXPECT_THROW(PsQueue(0.0, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(PsQueue(1.0, 0, -0.1), std::invalid_argument);
+}
+
+TEST(PsQueue, WorkConservation) {
+  PsQueue q(50.0, 3, 0.1);
+  double total_in = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    q.enqueue(20.0, make_ctx(i));
+    total_in += 20.0;
+  }
+  double served = 0.0;
+  std::size_t done = 0;
+  for (int step = 0; step < 500 && done < 10; ++step) {
+    auto r = q.advance(0.05);
+    served += r.work_done;
+    done += r.completed.size();
+  }
+  EXPECT_EQ(done, 10u);
+  EXPECT_NEAR(served, total_in, 1e-6);
+}
+
+}  // namespace
+}  // namespace gdisim

@@ -1,0 +1,81 @@
+#include "software/cascade.h"
+
+#include <gtest/gtest.h>
+
+namespace gdisim {
+namespace {
+
+TEST(ResourceVector, Arithmetic) {
+  ResourceVector a{1, 2, 3, 4};
+  ResourceVector b{10, 20, 30, 40};
+  ResourceVector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.cpu_cycles, 11);
+  EXPECT_DOUBLE_EQ(sum.net_bytes, 22);
+  EXPECT_DOUBLE_EQ(sum.mem_bytes, 33);
+  EXPECT_DOUBLE_EQ(sum.disk_bytes, 44);
+  ResourceVector scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.cpu_cycles, 2);
+  EXPECT_DOUBLE_EQ(scaled.disk_bytes, 8);
+}
+
+TEST(CascadeBuilder, SingleStepSingleBranch) {
+  CascadeSpec spec = CascadeBuilder("op")
+                         .step()
+                         .msg(Endpoint::client(), Endpoint::app_owner(), {100, 200, 300, 400})
+                         .msg(Endpoint::app_owner(), Endpoint::client(), {1, 2, 3, 4})
+                         .build();
+  EXPECT_EQ(spec.name, "op");
+  ASSERT_EQ(spec.steps.size(), 1u);
+  ASSERT_EQ(spec.steps[0].branches.size(), 1u);
+  EXPECT_EQ(spec.steps[0].branches[0].messages.size(), 2u);
+  EXPECT_EQ(spec.total_messages(), 2u);
+}
+
+TEST(CascadeBuilder, RepeatMultipliesMessageCount) {
+  CascadeSpec spec = CascadeBuilder("op")
+                         .step(13)
+                         .msg(Endpoint::client(), Endpoint::app_owner(), {})
+                         .msg(Endpoint::app_owner(), Endpoint::client(), {})
+                         .build();
+  EXPECT_EQ(spec.total_messages(), 26u);
+}
+
+TEST(CascadeBuilder, ParallelBranches) {
+  CascadeBuilder b("op");
+  b.step();
+  b.msg(Endpoint::client(), Endpoint::fs_local(), {});
+  b.branch();
+  b.msg(Endpoint::client(), Endpoint::fs_local(), {});
+  b.msg(Endpoint::fs_local(), Endpoint::client(), {});
+  CascadeSpec spec = b.build();
+  ASSERT_EQ(spec.steps.size(), 1u);
+  ASSERT_EQ(spec.steps[0].branches.size(), 2u);
+  EXPECT_EQ(spec.steps[0].branches[0].messages.size(), 1u);
+  EXPECT_EQ(spec.steps[0].branches[1].messages.size(), 2u);
+  EXPECT_EQ(spec.total_messages(), 3u);
+}
+
+TEST(CascadeBuilder, PerMbOnLastMessage) {
+  CascadeSpec spec = CascadeBuilder("op")
+                         .step()
+                         .msg(Endpoint::client(), Endpoint::fs_local(), {1, 1, 1, 1})
+                         .spec_last_per_mb({0, 5, 0, 7})
+                         .build();
+  const MessageSpec& m = spec.steps[0].branches[0].messages[0];
+  EXPECT_DOUBLE_EQ(m.per_mb.net_bytes, 5);
+  EXPECT_DOUBLE_EQ(m.per_mb.disk_bytes, 7);
+}
+
+TEST(Endpoint, Factories) {
+  EXPECT_EQ(Endpoint::client().role, Role::Client);
+  EXPECT_EQ(Endpoint::client().dc, DcSelector::Local);
+  EXPECT_EQ(Endpoint::app_owner().role, Role::AppServer);
+  EXPECT_EQ(Endpoint::app_owner().dc, DcSelector::Owner);
+  EXPECT_EQ(Endpoint::fs_local().dc, DcSelector::Local);
+  Endpoint e = Endpoint::at(Role::DbServer, 3);
+  EXPECT_EQ(e.dc, DcSelector::Explicit);
+  EXPECT_EQ(e.explicit_dc, 3u);
+}
+
+}  // namespace
+}  // namespace gdisim

@@ -1,0 +1,145 @@
+#include "software/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace gdisim {
+namespace {
+
+TEST(Catalog, ContainsAllCadOperations) {
+  OperationCatalog c = OperationCatalog::standard();
+  for (const char* op : {"LOGIN", "TEXT-SEARCH", "FILTER", "EXPLORE", "SPATIAL-SEARCH",
+                         "SELECT", "OPEN", "SAVE"}) {
+    EXPECT_TRUE(c.contains(std::string("CAD.") + op)) << op;
+    EXPECT_TRUE(c.contains(std::string("VIS.") + op)) << op;
+  }
+  EXPECT_TRUE(c.contains("VIS.VALIDATE"));
+}
+
+TEST(Catalog, ContainsAllPdmOperations) {
+  OperationCatalog c = OperationCatalog::standard();
+  for (const char* op : {"BILL-OF-MATERIALS", "EXPAND", "PROMOTE", "UPDATE", "EDIT",
+                         "DOWNLOAD", "EXPORT"}) {
+    EXPECT_TRUE(c.contains(std::string("PDM.") + op)) << op;
+  }
+}
+
+TEST(Catalog, OperationsOfFiltersByApp) {
+  OperationCatalog c = OperationCatalog::standard();
+  EXPECT_EQ(c.operations_of("CAD").size(), 8u);
+  EXPECT_EQ(c.operations_of("VIS").size(), 9u);
+  EXPECT_EQ(c.operations_of("PDM").size(), 7u);
+  EXPECT_TRUE(c.operations_of("XYZ").empty());
+}
+
+TEST(Catalog, UnknownOperationThrows) {
+  OperationCatalog c = OperationCatalog::standard();
+  EXPECT_THROW(c.get("CAD.NOPE"), std::out_of_range);
+}
+
+TEST(Catalog, ExploreRepeats13Times) {
+  OperationCatalog c = OperationCatalog::standard();
+  EXPECT_EQ(c.get("CAD.EXPLORE").steps[0].repeat, 13u);
+  EXPECT_EQ(c.get("CAD.SPATIAL-SEARCH").steps[0].repeat, 14u);
+  EXPECT_EQ(c.get("CAD.SELECT").steps[0].repeat, 7u);
+}
+
+TEST(Catalog, OpenAndSaveScaleWithSize) {
+  OperationCatalog c = OperationCatalog::standard();
+  auto has_per_mb = [](const CascadeSpec& spec) {
+    for (const auto& step : spec.steps) {
+      for (const auto& br : step.branches) {
+        for (const auto& m : br.messages) {
+          if (m.per_mb.cpu_cycles > 0 || m.per_mb.net_bytes > 0 || m.per_mb.disk_bytes > 0) {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_per_mb(c.get("CAD.OPEN")));
+  EXPECT_TRUE(has_per_mb(c.get("CAD.SAVE")));
+  EXPECT_FALSE(has_per_mb(c.get("CAD.LOGIN")));
+  EXPECT_FALSE(has_per_mb(c.get("CAD.EXPLORE")));
+}
+
+TEST(Catalog, MetadataOpsAreSizeInvariantAndTransfersAreNot) {
+  // The Ch. 5 observation: LOGIN..SELECT operate on metadata; OPEN/SAVE
+  // read/write the file.
+  OperationCatalog c = OperationCatalog::standard();
+  for (const char* op : {"LOGIN", "TEXT-SEARCH", "FILTER", "EXPLORE"}) {
+    const CascadeSpec& spec = c.get(std::string("CAD.") + op);
+    for (const auto& step : spec.steps) {
+      for (const auto& br : step.branches) {
+        for (const auto& m : br.messages) {
+          EXPECT_DOUBLE_EQ(m.per_mb.cpu_cycles, 0.0) << op;
+        }
+      }
+    }
+  }
+}
+
+TEST(Catalog, VisCheaperThanCad) {
+  OperationCatalog c = OperationCatalog::standard();
+  auto total_cycles = [](const CascadeSpec& spec) {
+    double t = 0;
+    for (const auto& step : spec.steps) {
+      for (const auto& br : step.branches) {
+        for (const auto& m : br.messages) t += m.fixed.cpu_cycles * step.repeat;
+      }
+    }
+    return t;
+  };
+  EXPECT_LT(total_cycles(c.get("VIS.OPEN")), total_cycles(c.get("CAD.OPEN")));
+  EXPECT_LT(total_cycles(c.get("VIS.LOGIN")), total_cycles(c.get("CAD.LOGIN")));
+}
+
+TEST(SynchrepCascade, PullAndPushPhases) {
+  CascadeSpec spec = make_synchrep_cascade(0, {{1, 100.0}, {2, 50.0}}, {{1, 50.0}, {2, 100.0}});
+  ASSERT_EQ(spec.steps.size(), 2u);
+  EXPECT_EQ(spec.steps[0].branches.size(), 2u);  // pulls run in parallel
+  EXPECT_EQ(spec.steps[1].branches.size(), 2u);  // pushes run in parallel
+  // Bulk messages carry per-branch size overrides.
+  bool found_override = false;
+  for (const auto& m : spec.steps[0].branches[0].messages) {
+    if (m.size_mb_override.has_value()) {
+      EXPECT_DOUBLE_EQ(*m.size_mb_override, 100.0);
+      found_override = true;
+    }
+  }
+  EXPECT_TRUE(found_override);
+}
+
+TEST(SynchrepCascade, EmptyVolumesYieldHeartbeat) {
+  CascadeSpec spec = make_synchrep_cascade(0, {}, {});
+  ASSERT_EQ(spec.steps.size(), 1u);
+  EXPECT_GE(spec.total_messages(), 2u);
+}
+
+TEST(IndexbuildCascade, SingleSequence) {
+  CascadeSpec spec = make_indexbuild_cascade(0, 500.0);
+  ASSERT_EQ(spec.steps.size(), 1u);
+  ASSERT_EQ(spec.steps[0].branches.size(), 1u);
+  // Indexing volume flows fs -> idx.
+  bool found = false;
+  for (const auto& m : spec.steps[0].branches[0].messages) {
+    if (m.size_mb_override.has_value() && m.per_mb.cpu_cycles > 0) {
+      EXPECT_DOUBLE_EQ(*m.size_mb_override, 500.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Catalog, AddReplaces) {
+  OperationCatalog c;
+  CascadeSpec a = CascadeBuilder("X.OP").step().msg(Endpoint::client(), Endpoint::app_owner(), {1, 0, 0, 0}).build();
+  c.add(a);
+  EXPECT_TRUE(c.contains("X.OP"));
+  CascadeSpec b = CascadeBuilder("X.OP").step(3).msg(Endpoint::client(), Endpoint::app_owner(), {2, 0, 0, 0}).build();
+  c.add(b);
+  EXPECT_EQ(c.get("X.OP").steps[0].repeat, 3u);
+}
+
+}  // namespace
+}  // namespace gdisim

@@ -1,0 +1,84 @@
+#include "software/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace gdisim {
+namespace {
+
+TEST(WorkloadCurve, ConstantCurve) {
+  WorkloadCurve c = WorkloadCurve::constant(42.0);
+  EXPECT_DOUBLE_EQ(c.at_hour(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(c.at_hour(12.5), 42.0);
+  EXPECT_DOUBLE_EQ(c.peak(), 42.0);
+}
+
+TEST(WorkloadCurve, BusinessHoursPeakInsideShift) {
+  WorkloadCurve c = WorkloadCurve::business_hours(100.0, 10.0, 8.0, 17.0, 2.0);
+  EXPECT_NEAR(c.at_hour(12.0), 100.0, 1e-9);
+  EXPECT_NEAR(c.at_hour(3.0), 10.0, 1e-9);
+  // Ramping at shift start.
+  EXPECT_GT(c.at_hour(9.0), 10.0);
+  EXPECT_LT(c.at_hour(9.0), 100.0);
+}
+
+TEST(WorkloadCurve, WrapsMidnightShift) {
+  // Australia-style 22:00-07:00 shift.
+  WorkloadCurve c = WorkloadCurve::business_hours(100.0, 5.0, 22.0, 7.0, 2.0);
+  EXPECT_NEAR(c.at_hour(2.0), 100.0, 1e-9);
+  EXPECT_NEAR(c.at_hour(14.0), 5.0, 1e-9);
+}
+
+TEST(WorkloadCurve, InterpolatesBetweenHours) {
+  std::array<double, 24> h{};
+  h[10] = 0.0;
+  h[11] = 100.0;
+  WorkloadCurve c(h);
+  EXPECT_NEAR(c.at_hour(10.5), 50.0, 1e-9);
+  EXPECT_NEAR(c.at_hour(10.25), 25.0, 1e-9);
+}
+
+TEST(WorkloadCurve, PeriodicIn24Hours) {
+  WorkloadCurve c = WorkloadCurve::business_hours(50.0, 5.0, 9.0, 18.0);
+  EXPECT_DOUBLE_EQ(c.at_hour(12.0), c.at_hour(36.0));
+  EXPECT_DOUBLE_EQ(c.at_hour(12.0), c.at_hour(-12.0));
+}
+
+TEST(WorkloadCurve, AtSecondsMatchesAtHour) {
+  WorkloadCurve c = WorkloadCurve::business_hours(50.0, 5.0, 9.0, 18.0);
+  EXPECT_DOUBLE_EQ(c.at_seconds(12 * 3600.0), c.at_hour(12.0));
+}
+
+TEST(WorkloadCurve, Scaled) {
+  WorkloadCurve c = WorkloadCurve::constant(10.0).scaled(2.5);
+  EXPECT_DOUBLE_EQ(c.at_hour(1.0), 25.0);
+}
+
+TEST(OperationMix, UniformSampling) {
+  OperationMix mix = OperationMix::uniform({"a", "b", "c", "d"});
+  EXPECT_EQ(mix.sample(0.0), "a");
+  EXPECT_EQ(mix.sample(0.26), "b");
+  EXPECT_EQ(mix.sample(0.51), "c");
+  EXPECT_EQ(mix.sample(0.99), "d");
+}
+
+TEST(OperationMix, WeightedSampling) {
+  OperationMix mix({{"rare", 1.0}, {"common", 9.0}});
+  EXPECT_EQ(mix.sample(0.05), "rare");
+  EXPECT_EQ(mix.sample(0.2), "common");
+  EXPECT_EQ(mix.sample(0.95), "common");
+}
+
+TEST(OperationMix, NormalizesWeights) {
+  OperationMix mix({{"a", 2.0}, {"b", 2.0}});
+  EXPECT_DOUBLE_EQ(mix.entries()[0].second, 0.5);
+  EXPECT_DOUBLE_EQ(mix.entries()[1].second, 0.5);
+}
+
+TEST(OperationMix, RejectsBadWeights) {
+  EXPECT_THROW(OperationMix({{"a", -1.0}}), std::invalid_argument);
+  EXPECT_THROW(OperationMix({{"a", 0.0}}), std::invalid_argument);
+  EXPECT_THROW(OperationMix().sample(0.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gdisim

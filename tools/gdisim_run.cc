@@ -1,0 +1,198 @@
+// gdisim_run — command-line front end for the canned scenarios.
+//
+//   gdisim_run --scenario consolidated --hours 24 --scale 0.1 --csv out.csv
+//
+// Options:
+//   --scenario validation|consolidated|multimaster   (default consolidated)
+//   --experiment 1|2|3       validation series frequencies (default 1)
+//   --hours H                simulated horizon (default 24; validation: 0.65)
+//   --scale S                population/hardware scale (default 0.1)
+//   --threads N              worker threads (default: cores - 1)
+//   --seed N                 run seed (default 42)
+//   --csv PATH               dump every collector series as CSV
+//   --quiet                  suppress the summary tables
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "config/loader.h"
+#include "sim/gdisim.h"
+
+using namespace gdisim;
+
+namespace {
+
+struct CliOptions {
+  std::string scenario = "consolidated";
+  std::string config_path;
+  int experiment = 1;
+  double hours = -1.0;
+  double scale = 0.10;
+  std::size_t threads = 0;
+  bool threads_set = false;
+  std::uint64_t seed = 42;
+  std::string csv_path;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--scenario validation|consolidated|multimaster | --config FILE]\n"
+               "       [--experiment N] [--hours H] [--scale S] [--threads N] [--seed N]\n"
+               "       [--csv PATH] [--quiet]\n";
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      opt.scenario = next();
+    } else if (arg == "--config") {
+      opt.config_path = next();
+    } else if (arg == "--experiment") {
+      opt.experiment = std::atoi(next());
+    } else if (arg == "--hours") {
+      opt.hours = std::atof(next());
+    } else if (arg == "--scale") {
+      opt.scale = std::atof(next());
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<std::size_t>(std::atoi(next()));
+      opt.threads_set = true;
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--csv") {
+      opt.csv_path = next();
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.config_path.empty() && opt.scenario != "validation" &&
+      opt.scenario != "consolidated" && opt.scenario != "multimaster") {
+    usage(argv[0]);
+  }
+  if (!opt.threads_set) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    opt.threads = hw > 1 ? hw - 1 : 0;
+  }
+  if (opt.hours < 0) opt.hours = opt.scenario == "validation" ? 38.0 / 60.0 : 24.0;
+  return opt;
+}
+
+Scenario make_scenario(const CliOptions& opt) {
+  if (!opt.config_path.empty()) return load_scenario_file(opt.config_path);
+  if (opt.scenario == "validation") {
+    ValidationOptions v;
+    v.experiment = opt.experiment;
+    v.seed = opt.seed;
+    v.stop_launch_s = opt.hours * 3600.0 - 3.0 * 60.0;
+    return make_validation_scenario(v);
+  }
+  GlobalOptions g;
+  g.scale = opt.scale;
+  g.seed = opt.seed;
+  return opt.scenario == "multimaster" ? make_multimaster_scenario(g)
+                                       : make_consolidated_scenario(g);
+}
+
+void print_summary(GdiSimulator& sim, double horizon_s) {
+  std::cout << "\nUtilization (mean over run / peak):\n";
+  TableReport util({"resource", "mean", "peak"});
+  Topology& topo = *sim.scenario().topology;
+  for (DcId d = 0; d < topo.dc_count(); ++d) {
+    for (unsigned k = 0; k < static_cast<unsigned>(TierKind::kCount); ++k) {
+      const std::string label = "cpu/" + topo.dc(d).name() + "/" +
+                                tier_kind_name(static_cast<TierKind>(k));
+      const TimeSeries* s = sim.collector().find(label);
+      if (s == nullptr || s->empty()) continue;
+      util.add_row({label, TableReport::pct(s->mean_between(0, horizon_s)),
+                    TableReport::pct(s->max_value())});
+    }
+  }
+  for (DcId a = 0; a < topo.dc_count(); ++a) {
+    for (DcId b = 0; b < topo.dc_count(); ++b) {
+      if (topo.link(a, b) == nullptr) continue;
+      const std::string label = "net/" + topo.dc(a).name() + "->" + topo.dc(b).name();
+      const TimeSeries* s = sim.collector().find(label);
+      if (s == nullptr || s->empty()) continue;
+      util.add_row({label, TableReport::pct(s->mean_between(0, horizon_s)),
+                    TableReport::pct(s->max_value())});
+    }
+  }
+  util.print(std::cout);
+
+  std::cout << "\nResponse times:\n";
+  TableReport resp({"population", "operation", "count", "mean (s)", "max (s)"});
+  for (auto& p : sim.scenario().populations) {
+    for (const auto& [op, stats] : p->stats()) {
+      resp.add_row({p->config().name, op, std::to_string(stats.count),
+                    TableReport::fmt(stats.mean()), TableReport::fmt(stats.max_s)});
+    }
+  }
+  for (auto& l : sim.scenario().launchers) {
+    for (const auto& [op, stats] : l->stats()) {
+      resp.add_row({l->name(), op, std::to_string(stats.count),
+                    TableReport::fmt(stats.mean()), TableReport::fmt(stats.max_s)});
+    }
+  }
+  resp.print(std::cout);
+
+  for (auto& sr : sim.scenario().synchreps) {
+    std::cout << "\n" << sr->name() << ": " << sr->ledger().runs().size()
+              << " runs, R_SR^max = " << TableReport::fmt(sr->max_staleness_s() / 60.0)
+              << " min";
+  }
+  for (auto& ib : sim.scenario().indexbuilds) {
+    std::cout << "\n" << ib->name() << ": " << ib->ledger().runs().size()
+              << " runs, R_IB^max = " << TableReport::fmt(ib->max_unsearchable_s() / 60.0)
+              << " min";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse(argc, argv);
+
+  std::cout << "GDISim: scenario="
+            << (opt.config_path.empty() ? opt.scenario : opt.config_path) << " hours=" << opt.hours
+            << " scale=" << opt.scale << " threads=" << opt.threads << " seed=" << opt.seed
+            << "\n";
+
+  Scenario scenario = make_scenario(opt);
+  SimulatorConfig cfg;
+  cfg.threads = opt.threads;
+  cfg.collect_every_s = opt.scenario == "validation" ? 6.0 : 30.0;
+  GdiSimulator sim(std::move(scenario), cfg);
+
+  const double horizon_s = opt.hours * 3600.0;
+  sim.run_for(horizon_s);
+  std::cout << "simulated " << format_sim_time(horizon_s) << " of operation ("
+            << sim.loop().now() << " ticks, " << sim.loop().agent_count() << " agents)\n";
+
+  if (!opt.quiet) print_summary(sim, horizon_s);
+
+  if (!opt.csv_path.empty()) {
+    std::ofstream out(opt.csv_path);
+    if (!out) {
+      std::cerr << "cannot open " << opt.csv_path << "\n";
+      return 1;
+    }
+    std::vector<const TimeSeries*> series;
+    for (std::size_t i = 0; i < sim.collector().probe_count(); ++i) {
+      series.push_back(&sim.collector().series(i));
+    }
+    print_csv(out, series);
+    std::cout << "wrote " << series.size() << " series to " << opt.csv_path << "\n";
+  }
+  return 0;
+}
