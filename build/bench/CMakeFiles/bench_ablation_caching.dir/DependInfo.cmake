@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_caching.cc" "bench/CMakeFiles/bench_ablation_caching.dir/bench_ablation_caching.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_caching.dir/bench_ablation_caching.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdisim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_background.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_software.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

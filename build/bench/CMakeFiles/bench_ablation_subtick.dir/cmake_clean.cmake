@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_subtick.dir/bench_ablation_subtick.cc.o"
+  "CMakeFiles/bench_ablation_subtick.dir/bench_ablation_subtick.cc.o.d"
+  "bench_ablation_subtick"
+  "bench_ablation_subtick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subtick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analytic_vs_simulation.dir/bench_analytic_vs_simulation.cc.o"
+  "CMakeFiles/bench_analytic_vs_simulation.dir/bench_analytic_vs_simulation.cc.o.d"
+  "bench_analytic_vs_simulation"
+  "bench_analytic_vs_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analytic_vs_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

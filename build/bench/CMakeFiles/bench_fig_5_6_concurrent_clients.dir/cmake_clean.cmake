@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_5_6_concurrent_clients.dir/bench_fig_5_6_concurrent_clients.cc.o"
+  "CMakeFiles/bench_fig_5_6_concurrent_clients.dir/bench_fig_5_6_concurrent_clients.cc.o.d"
+  "bench_fig_5_6_concurrent_clients"
+  "bench_fig_5_6_concurrent_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_5_6_concurrent_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

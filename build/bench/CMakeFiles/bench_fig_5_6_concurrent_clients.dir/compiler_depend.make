@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig_5_6_concurrent_clients.
+# This may be replaced when dependencies are built.

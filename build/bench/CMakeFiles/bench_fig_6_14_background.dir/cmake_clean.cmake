@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_6_14_background.dir/bench_fig_6_14_background.cc.o"
+  "CMakeFiles/bench_fig_6_14_background.dir/bench_fig_6_14_background.cc.o.d"
+  "bench_fig_6_14_background"
+  "bench_fig_6_14_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_6_14_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_6_5_workloads.dir/bench_fig_6_5_workloads.cc.o"
+  "CMakeFiles/bench_fig_6_5_workloads.dir/bench_fig_6_5_workloads.cc.o.d"
+  "bench_fig_6_5_workloads"
+  "bench_fig_6_5_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_6_5_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_7_6_mm_background.dir/bench_fig_7_6_mm_background.cc.o"
+  "CMakeFiles/bench_fig_7_6_mm_background.dir/bench_fig_7_6_mm_background.cc.o.d"
+  "bench_fig_7_6_mm_background"
+  "bench_fig_7_6_mm_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_7_6_mm_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_7_6_mm_background.
+# This may be replaced when dependencies are built.

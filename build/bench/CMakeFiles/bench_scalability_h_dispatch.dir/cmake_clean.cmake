@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_h_dispatch.dir/bench_scalability_h_dispatch.cc.o"
+  "CMakeFiles/bench_scalability_h_dispatch.dir/bench_scalability_h_dispatch.cc.o.d"
+  "bench_scalability_h_dispatch"
+  "bench_scalability_h_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_h_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_scatter_gather.dir/bench_scalability_scatter_gather.cc.o"
+  "CMakeFiles/bench_scalability_scatter_gather.dir/bench_scalability_scatter_gather.cc.o.d"
+  "bench_scalability_scatter_gather"
+  "bench_scalability_scatter_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_scatter_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec_5_3_3_memory.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec_7_4_1_mm_cpu.dir/bench_sec_7_4_1_mm_cpu.cc.o"
+  "CMakeFiles/bench_sec_7_4_1_mm_cpu.dir/bench_sec_7_4_1_mm_cpu.cc.o.d"
+  "bench_sec_7_4_1_mm_cpu"
+  "bench_sec_7_4_1_mm_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec_7_4_1_mm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_5_1_operation_durations.dir/bench_table_5_1_operation_durations.cc.o"
+  "CMakeFiles/bench_table_5_1_operation_durations.dir/bench_table_5_1_operation_durations.cc.o.d"
+  "bench_table_5_1_operation_durations"
+  "bench_table_5_1_operation_durations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_5_1_operation_durations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

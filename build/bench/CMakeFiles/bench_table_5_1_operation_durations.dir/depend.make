@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table_5_1_operation_durations.
+# This may be replaced when dependencies are built.

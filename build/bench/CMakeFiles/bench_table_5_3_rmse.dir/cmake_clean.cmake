@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_5_3_rmse.dir/bench_table_5_3_rmse.cc.o"
+  "CMakeFiles/bench_table_5_3_rmse.dir/bench_table_5_3_rmse.cc.o.d"
+  "bench_table_5_3_rmse"
+  "bench_table_5_3_rmse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_5_3_rmse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_6_1_network.dir/bench_table_6_1_network.cc.o"
+  "CMakeFiles/bench_table_6_1_network.dir/bench_table_6_1_network.cc.o.d"
+  "bench_table_6_1_network"
+  "bench_table_6_1_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_6_1_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table_6_1_network.
+# This may be replaced when dependencies are built.

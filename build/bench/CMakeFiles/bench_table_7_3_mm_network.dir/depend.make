@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table_7_3_mm_network.
+# This may be replaced when dependencies are built.

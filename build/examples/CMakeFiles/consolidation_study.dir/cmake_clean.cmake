@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidation_study.dir/consolidation_study.cpp.o"
+  "CMakeFiles/consolidation_study.dir/consolidation_study.cpp.o.d"
+  "consolidation_study"
+  "consolidation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

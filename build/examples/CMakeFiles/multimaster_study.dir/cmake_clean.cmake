@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimaster_study.dir/multimaster_study.cpp.o"
+  "CMakeFiles/multimaster_study.dir/multimaster_study.cpp.o.d"
+  "multimaster_study"
+  "multimaster_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimaster_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/background/daemon.cc" "src/CMakeFiles/gdisim_background.dir/background/daemon.cc.o" "gcc" "src/CMakeFiles/gdisim_background.dir/background/daemon.cc.o.d"
+  "/root/repo/src/background/data_growth.cc" "src/CMakeFiles/gdisim_background.dir/background/data_growth.cc.o" "gcc" "src/CMakeFiles/gdisim_background.dir/background/data_growth.cc.o.d"
+  "/root/repo/src/background/file_catalog.cc" "src/CMakeFiles/gdisim_background.dir/background/file_catalog.cc.o" "gcc" "src/CMakeFiles/gdisim_background.dir/background/file_catalog.cc.o.d"
+  "/root/repo/src/background/file_tracker.cc" "src/CMakeFiles/gdisim_background.dir/background/file_tracker.cc.o" "gcc" "src/CMakeFiles/gdisim_background.dir/background/file_tracker.cc.o.d"
+  "/root/repo/src/background/indexbuild.cc" "src/CMakeFiles/gdisim_background.dir/background/indexbuild.cc.o" "gcc" "src/CMakeFiles/gdisim_background.dir/background/indexbuild.cc.o.d"
+  "/root/repo/src/background/ownership.cc" "src/CMakeFiles/gdisim_background.dir/background/ownership.cc.o" "gcc" "src/CMakeFiles/gdisim_background.dir/background/ownership.cc.o.d"
+  "/root/repo/src/background/synchrep.cc" "src/CMakeFiles/gdisim_background.dir/background/synchrep.cc.o" "gcc" "src/CMakeFiles/gdisim_background.dir/background/synchrep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdisim_software.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

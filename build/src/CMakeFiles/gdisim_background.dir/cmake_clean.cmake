@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdisim_background.dir/background/daemon.cc.o"
+  "CMakeFiles/gdisim_background.dir/background/daemon.cc.o.d"
+  "CMakeFiles/gdisim_background.dir/background/data_growth.cc.o"
+  "CMakeFiles/gdisim_background.dir/background/data_growth.cc.o.d"
+  "CMakeFiles/gdisim_background.dir/background/file_catalog.cc.o"
+  "CMakeFiles/gdisim_background.dir/background/file_catalog.cc.o.d"
+  "CMakeFiles/gdisim_background.dir/background/file_tracker.cc.o"
+  "CMakeFiles/gdisim_background.dir/background/file_tracker.cc.o.d"
+  "CMakeFiles/gdisim_background.dir/background/indexbuild.cc.o"
+  "CMakeFiles/gdisim_background.dir/background/indexbuild.cc.o.d"
+  "CMakeFiles/gdisim_background.dir/background/ownership.cc.o"
+  "CMakeFiles/gdisim_background.dir/background/ownership.cc.o.d"
+  "CMakeFiles/gdisim_background.dir/background/synchrep.cc.o"
+  "CMakeFiles/gdisim_background.dir/background/synchrep.cc.o.d"
+  "libgdisim_background.a"
+  "libgdisim_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdisim_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

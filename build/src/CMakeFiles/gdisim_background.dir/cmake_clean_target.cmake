@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgdisim_background.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for gdisim_background.
+# This may be replaced when dependencies are built.

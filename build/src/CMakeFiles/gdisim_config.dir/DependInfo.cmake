@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/builder.cc" "src/CMakeFiles/gdisim_config.dir/config/builder.cc.o" "gcc" "src/CMakeFiles/gdisim_config.dir/config/builder.cc.o.d"
+  "/root/repo/src/config/loader.cc" "src/CMakeFiles/gdisim_config.dir/config/loader.cc.o" "gcc" "src/CMakeFiles/gdisim_config.dir/config/loader.cc.o.d"
+  "/root/repo/src/config/scenarios.cc" "src/CMakeFiles/gdisim_config.dir/config/scenarios.cc.o" "gcc" "src/CMakeFiles/gdisim_config.dir/config/scenarios.cc.o.d"
+  "/root/repo/src/config/spec.cc" "src/CMakeFiles/gdisim_config.dir/config/spec.cc.o" "gcc" "src/CMakeFiles/gdisim_config.dir/config/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdisim_background.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_software.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

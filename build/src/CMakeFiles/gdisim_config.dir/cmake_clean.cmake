@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdisim_config.dir/config/builder.cc.o"
+  "CMakeFiles/gdisim_config.dir/config/builder.cc.o.d"
+  "CMakeFiles/gdisim_config.dir/config/loader.cc.o"
+  "CMakeFiles/gdisim_config.dir/config/loader.cc.o.d"
+  "CMakeFiles/gdisim_config.dir/config/scenarios.cc.o"
+  "CMakeFiles/gdisim_config.dir/config/scenarios.cc.o.d"
+  "CMakeFiles/gdisim_config.dir/config/spec.cc.o"
+  "CMakeFiles/gdisim_config.dir/config/spec.cc.o.d"
+  "libgdisim_config.a"
+  "libgdisim_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdisim_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coordination.cc" "src/CMakeFiles/gdisim_core.dir/core/coordination.cc.o" "gcc" "src/CMakeFiles/gdisim_core.dir/core/coordination.cc.o.d"
+  "/root/repo/src/core/dispatcher.cc" "src/CMakeFiles/gdisim_core.dir/core/dispatcher.cc.o" "gcc" "src/CMakeFiles/gdisim_core.dir/core/dispatcher.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/gdisim_core.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/gdisim_core.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/h_dispatch.cc" "src/CMakeFiles/gdisim_core.dir/core/h_dispatch.cc.o" "gcc" "src/CMakeFiles/gdisim_core.dir/core/h_dispatch.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/CMakeFiles/gdisim_core.dir/core/rng.cc.o" "gcc" "src/CMakeFiles/gdisim_core.dir/core/rng.cc.o.d"
+  "/root/repo/src/core/scatter_gather.cc" "src/CMakeFiles/gdisim_core.dir/core/scatter_gather.cc.o" "gcc" "src/CMakeFiles/gdisim_core.dir/core/scatter_gather.cc.o.d"
+  "/root/repo/src/core/sim_loop.cc" "src/CMakeFiles/gdisim_core.dir/core/sim_loop.cc.o" "gcc" "src/CMakeFiles/gdisim_core.dir/core/sim_loop.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/CMakeFiles/gdisim_core.dir/core/types.cc.o" "gcc" "src/CMakeFiles/gdisim_core.dir/core/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

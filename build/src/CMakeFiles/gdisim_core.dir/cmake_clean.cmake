@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdisim_core.dir/core/coordination.cc.o"
+  "CMakeFiles/gdisim_core.dir/core/coordination.cc.o.d"
+  "CMakeFiles/gdisim_core.dir/core/dispatcher.cc.o"
+  "CMakeFiles/gdisim_core.dir/core/dispatcher.cc.o.d"
+  "CMakeFiles/gdisim_core.dir/core/engine.cc.o"
+  "CMakeFiles/gdisim_core.dir/core/engine.cc.o.d"
+  "CMakeFiles/gdisim_core.dir/core/h_dispatch.cc.o"
+  "CMakeFiles/gdisim_core.dir/core/h_dispatch.cc.o.d"
+  "CMakeFiles/gdisim_core.dir/core/rng.cc.o"
+  "CMakeFiles/gdisim_core.dir/core/rng.cc.o.d"
+  "CMakeFiles/gdisim_core.dir/core/scatter_gather.cc.o"
+  "CMakeFiles/gdisim_core.dir/core/scatter_gather.cc.o.d"
+  "CMakeFiles/gdisim_core.dir/core/sim_loop.cc.o"
+  "CMakeFiles/gdisim_core.dir/core/sim_loop.cc.o.d"
+  "CMakeFiles/gdisim_core.dir/core/types.cc.o"
+  "CMakeFiles/gdisim_core.dir/core/types.cc.o.d"
+  "libgdisim_core.a"
+  "libgdisim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdisim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

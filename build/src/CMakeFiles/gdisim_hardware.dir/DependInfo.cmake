@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hardware/cpu.cc" "src/CMakeFiles/gdisim_hardware.dir/hardware/cpu.cc.o" "gcc" "src/CMakeFiles/gdisim_hardware.dir/hardware/cpu.cc.o.d"
+  "/root/repo/src/hardware/datacenter.cc" "src/CMakeFiles/gdisim_hardware.dir/hardware/datacenter.cc.o" "gcc" "src/CMakeFiles/gdisim_hardware.dir/hardware/datacenter.cc.o.d"
+  "/root/repo/src/hardware/link.cc" "src/CMakeFiles/gdisim_hardware.dir/hardware/link.cc.o" "gcc" "src/CMakeFiles/gdisim_hardware.dir/hardware/link.cc.o.d"
+  "/root/repo/src/hardware/memory.cc" "src/CMakeFiles/gdisim_hardware.dir/hardware/memory.cc.o" "gcc" "src/CMakeFiles/gdisim_hardware.dir/hardware/memory.cc.o.d"
+  "/root/repo/src/hardware/network_switch.cc" "src/CMakeFiles/gdisim_hardware.dir/hardware/network_switch.cc.o" "gcc" "src/CMakeFiles/gdisim_hardware.dir/hardware/network_switch.cc.o.d"
+  "/root/repo/src/hardware/nic.cc" "src/CMakeFiles/gdisim_hardware.dir/hardware/nic.cc.o" "gcc" "src/CMakeFiles/gdisim_hardware.dir/hardware/nic.cc.o.d"
+  "/root/repo/src/hardware/raid.cc" "src/CMakeFiles/gdisim_hardware.dir/hardware/raid.cc.o" "gcc" "src/CMakeFiles/gdisim_hardware.dir/hardware/raid.cc.o.d"
+  "/root/repo/src/hardware/san.cc" "src/CMakeFiles/gdisim_hardware.dir/hardware/san.cc.o" "gcc" "src/CMakeFiles/gdisim_hardware.dir/hardware/san.cc.o.d"
+  "/root/repo/src/hardware/server.cc" "src/CMakeFiles/gdisim_hardware.dir/hardware/server.cc.o" "gcc" "src/CMakeFiles/gdisim_hardware.dir/hardware/server.cc.o.d"
+  "/root/repo/src/hardware/tier.cc" "src/CMakeFiles/gdisim_hardware.dir/hardware/tier.cc.o" "gcc" "src/CMakeFiles/gdisim_hardware.dir/hardware/tier.cc.o.d"
+  "/root/repo/src/hardware/topology.cc" "src/CMakeFiles/gdisim_hardware.dir/hardware/topology.cc.o" "gcc" "src/CMakeFiles/gdisim_hardware.dir/hardware/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdisim_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

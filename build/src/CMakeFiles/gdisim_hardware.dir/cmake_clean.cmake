@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdisim_hardware.dir/hardware/cpu.cc.o"
+  "CMakeFiles/gdisim_hardware.dir/hardware/cpu.cc.o.d"
+  "CMakeFiles/gdisim_hardware.dir/hardware/datacenter.cc.o"
+  "CMakeFiles/gdisim_hardware.dir/hardware/datacenter.cc.o.d"
+  "CMakeFiles/gdisim_hardware.dir/hardware/link.cc.o"
+  "CMakeFiles/gdisim_hardware.dir/hardware/link.cc.o.d"
+  "CMakeFiles/gdisim_hardware.dir/hardware/memory.cc.o"
+  "CMakeFiles/gdisim_hardware.dir/hardware/memory.cc.o.d"
+  "CMakeFiles/gdisim_hardware.dir/hardware/network_switch.cc.o"
+  "CMakeFiles/gdisim_hardware.dir/hardware/network_switch.cc.o.d"
+  "CMakeFiles/gdisim_hardware.dir/hardware/nic.cc.o"
+  "CMakeFiles/gdisim_hardware.dir/hardware/nic.cc.o.d"
+  "CMakeFiles/gdisim_hardware.dir/hardware/raid.cc.o"
+  "CMakeFiles/gdisim_hardware.dir/hardware/raid.cc.o.d"
+  "CMakeFiles/gdisim_hardware.dir/hardware/san.cc.o"
+  "CMakeFiles/gdisim_hardware.dir/hardware/san.cc.o.d"
+  "CMakeFiles/gdisim_hardware.dir/hardware/server.cc.o"
+  "CMakeFiles/gdisim_hardware.dir/hardware/server.cc.o.d"
+  "CMakeFiles/gdisim_hardware.dir/hardware/tier.cc.o"
+  "CMakeFiles/gdisim_hardware.dir/hardware/tier.cc.o.d"
+  "CMakeFiles/gdisim_hardware.dir/hardware/topology.cc.o"
+  "CMakeFiles/gdisim_hardware.dir/hardware/topology.cc.o.d"
+  "libgdisim_hardware.a"
+  "libgdisim_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdisim_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/collector.cc" "src/CMakeFiles/gdisim_metrics.dir/metrics/collector.cc.o" "gcc" "src/CMakeFiles/gdisim_metrics.dir/metrics/collector.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/CMakeFiles/gdisim_metrics.dir/metrics/report.cc.o" "gcc" "src/CMakeFiles/gdisim_metrics.dir/metrics/report.cc.o.d"
+  "/root/repo/src/metrics/series.cc" "src/CMakeFiles/gdisim_metrics.dir/metrics/series.cc.o" "gcc" "src/CMakeFiles/gdisim_metrics.dir/metrics/series.cc.o.d"
+  "/root/repo/src/metrics/stats.cc" "src/CMakeFiles/gdisim_metrics.dir/metrics/stats.cc.o" "gcc" "src/CMakeFiles/gdisim_metrics.dir/metrics/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdisim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

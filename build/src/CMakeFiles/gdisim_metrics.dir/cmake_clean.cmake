@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdisim_metrics.dir/metrics/collector.cc.o"
+  "CMakeFiles/gdisim_metrics.dir/metrics/collector.cc.o.d"
+  "CMakeFiles/gdisim_metrics.dir/metrics/report.cc.o"
+  "CMakeFiles/gdisim_metrics.dir/metrics/report.cc.o.d"
+  "CMakeFiles/gdisim_metrics.dir/metrics/series.cc.o"
+  "CMakeFiles/gdisim_metrics.dir/metrics/series.cc.o.d"
+  "CMakeFiles/gdisim_metrics.dir/metrics/stats.cc.o"
+  "CMakeFiles/gdisim_metrics.dir/metrics/stats.cc.o.d"
+  "libgdisim_metrics.a"
+  "libgdisim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdisim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

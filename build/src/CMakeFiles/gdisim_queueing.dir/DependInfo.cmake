@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/analytic.cc" "src/CMakeFiles/gdisim_queueing.dir/queueing/analytic.cc.o" "gcc" "src/CMakeFiles/gdisim_queueing.dir/queueing/analytic.cc.o.d"
+  "/root/repo/src/queueing/fcfs_queue.cc" "src/CMakeFiles/gdisim_queueing.dir/queueing/fcfs_queue.cc.o" "gcc" "src/CMakeFiles/gdisim_queueing.dir/queueing/fcfs_queue.cc.o.d"
+  "/root/repo/src/queueing/fork_join.cc" "src/CMakeFiles/gdisim_queueing.dir/queueing/fork_join.cc.o" "gcc" "src/CMakeFiles/gdisim_queueing.dir/queueing/fork_join.cc.o.d"
+  "/root/repo/src/queueing/kendall.cc" "src/CMakeFiles/gdisim_queueing.dir/queueing/kendall.cc.o" "gcc" "src/CMakeFiles/gdisim_queueing.dir/queueing/kendall.cc.o.d"
+  "/root/repo/src/queueing/ps_queue.cc" "src/CMakeFiles/gdisim_queueing.dir/queueing/ps_queue.cc.o" "gcc" "src/CMakeFiles/gdisim_queueing.dir/queueing/ps_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdisim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdisim_queueing.dir/queueing/analytic.cc.o"
+  "CMakeFiles/gdisim_queueing.dir/queueing/analytic.cc.o.d"
+  "CMakeFiles/gdisim_queueing.dir/queueing/fcfs_queue.cc.o"
+  "CMakeFiles/gdisim_queueing.dir/queueing/fcfs_queue.cc.o.d"
+  "CMakeFiles/gdisim_queueing.dir/queueing/fork_join.cc.o"
+  "CMakeFiles/gdisim_queueing.dir/queueing/fork_join.cc.o.d"
+  "CMakeFiles/gdisim_queueing.dir/queueing/kendall.cc.o"
+  "CMakeFiles/gdisim_queueing.dir/queueing/kendall.cc.o.d"
+  "CMakeFiles/gdisim_queueing.dir/queueing/ps_queue.cc.o"
+  "CMakeFiles/gdisim_queueing.dir/queueing/ps_queue.cc.o.d"
+  "libgdisim_queueing.a"
+  "libgdisim_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdisim_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdisim_resilience.dir/resilience/failure.cc.o"
+  "CMakeFiles/gdisim_resilience.dir/resilience/failure.cc.o.d"
+  "libgdisim_resilience.a"
+  "libgdisim_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdisim_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdisim_sim.dir/sim/gdisim.cc.o"
+  "CMakeFiles/gdisim_sim.dir/sim/gdisim.cc.o.d"
+  "libgdisim_sim.a"
+  "libgdisim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdisim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

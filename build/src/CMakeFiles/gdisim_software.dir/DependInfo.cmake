@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/software/cascade.cc" "src/CMakeFiles/gdisim_software.dir/software/cascade.cc.o" "gcc" "src/CMakeFiles/gdisim_software.dir/software/cascade.cc.o.d"
+  "/root/repo/src/software/catalog.cc" "src/CMakeFiles/gdisim_software.dir/software/catalog.cc.o" "gcc" "src/CMakeFiles/gdisim_software.dir/software/catalog.cc.o.d"
+  "/root/repo/src/software/client.cc" "src/CMakeFiles/gdisim_software.dir/software/client.cc.o" "gcc" "src/CMakeFiles/gdisim_software.dir/software/client.cc.o.d"
+  "/root/repo/src/software/operation.cc" "src/CMakeFiles/gdisim_software.dir/software/operation.cc.o" "gcc" "src/CMakeFiles/gdisim_software.dir/software/operation.cc.o.d"
+  "/root/repo/src/software/replay.cc" "src/CMakeFiles/gdisim_software.dir/software/replay.cc.o" "gcc" "src/CMakeFiles/gdisim_software.dir/software/replay.cc.o.d"
+  "/root/repo/src/software/workload.cc" "src/CMakeFiles/gdisim_software.dir/software/workload.cc.o" "gcc" "src/CMakeFiles/gdisim_software.dir/software/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gdisim_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gdisim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

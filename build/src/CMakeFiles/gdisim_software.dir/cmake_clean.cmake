@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdisim_software.dir/software/cascade.cc.o"
+  "CMakeFiles/gdisim_software.dir/software/cascade.cc.o.d"
+  "CMakeFiles/gdisim_software.dir/software/catalog.cc.o"
+  "CMakeFiles/gdisim_software.dir/software/catalog.cc.o.d"
+  "CMakeFiles/gdisim_software.dir/software/client.cc.o"
+  "CMakeFiles/gdisim_software.dir/software/client.cc.o.d"
+  "CMakeFiles/gdisim_software.dir/software/operation.cc.o"
+  "CMakeFiles/gdisim_software.dir/software/operation.cc.o.d"
+  "CMakeFiles/gdisim_software.dir/software/replay.cc.o"
+  "CMakeFiles/gdisim_software.dir/software/replay.cc.o.d"
+  "CMakeFiles/gdisim_software.dir/software/workload.cc.o"
+  "CMakeFiles/gdisim_software.dir/software/workload.cc.o.d"
+  "libgdisim_software.a"
+  "libgdisim_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdisim_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_file_tracker_test.dir/background/file_tracker_test.cc.o"
+  "CMakeFiles/background_file_tracker_test.dir/background/file_tracker_test.cc.o.d"
+  "background_file_tracker_test"
+  "background_file_tracker_test.pdb"
+  "background_file_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_file_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_scenarios_test.dir/config/scenarios_test.cc.o"
+  "CMakeFiles/config_scenarios_test.dir/config/scenarios_test.cc.o.d"
+  "config_scenarios_test"
+  "config_scenarios_test.pdb"
+  "config_scenarios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_coordination_test.dir/core/coordination_test.cc.o"
+  "CMakeFiles/core_coordination_test.dir/core/coordination_test.cc.o.d"
+  "core_coordination_test"
+  "core_coordination_test.pdb"
+  "core_coordination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_coordination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

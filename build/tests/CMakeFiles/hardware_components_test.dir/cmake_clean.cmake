@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_components_test.dir/hardware/components_test.cc.o"
+  "CMakeFiles/hardware_components_test.dir/hardware/components_test.cc.o.d"
+  "hardware_components_test"
+  "hardware_components_test.pdb"
+  "hardware_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_server_test.dir/hardware/server_test.cc.o"
+  "CMakeFiles/hardware_server_test.dir/hardware/server_test.cc.o.d"
+  "hardware_server_test"
+  "hardware_server_test.pdb"
+  "hardware_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_topology_test.dir/hardware/topology_test.cc.o"
+  "CMakeFiles/hardware_topology_test.dir/hardware/topology_test.cc.o.d"
+  "hardware_topology_test"
+  "hardware_topology_test.pdb"
+  "hardware_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

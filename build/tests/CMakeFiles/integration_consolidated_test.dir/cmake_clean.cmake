@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_consolidated_test.dir/integration/consolidated_test.cc.o"
+  "CMakeFiles/integration_consolidated_test.dir/integration/consolidated_test.cc.o.d"
+  "integration_consolidated_test"
+  "integration_consolidated_test.pdb"
+  "integration_consolidated_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_consolidated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

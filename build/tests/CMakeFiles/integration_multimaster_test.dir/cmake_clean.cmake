@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_multimaster_test.dir/integration/multimaster_test.cc.o"
+  "CMakeFiles/integration_multimaster_test.dir/integration/multimaster_test.cc.o.d"
+  "integration_multimaster_test"
+  "integration_multimaster_test.pdb"
+  "integration_multimaster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_multimaster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_analytic_test.dir/queueing/analytic_test.cc.o"
+  "CMakeFiles/queueing_analytic_test.dir/queueing/analytic_test.cc.o.d"
+  "queueing_analytic_test"
+  "queueing_analytic_test.pdb"
+  "queueing_analytic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_analytic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_discipline_sweep_test.dir/queueing/discipline_sweep_test.cc.o"
+  "CMakeFiles/queueing_discipline_sweep_test.dir/queueing/discipline_sweep_test.cc.o.d"
+  "queueing_discipline_sweep_test"
+  "queueing_discipline_sweep_test.pdb"
+  "queueing_discipline_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_discipline_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_fcfs_test.dir/queueing/fcfs_test.cc.o"
+  "CMakeFiles/queueing_fcfs_test.dir/queueing/fcfs_test.cc.o.d"
+  "queueing_fcfs_test"
+  "queueing_fcfs_test.pdb"
+  "queueing_fcfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_fcfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_fork_join_test.dir/queueing/fork_join_test.cc.o"
+  "CMakeFiles/queueing_fork_join_test.dir/queueing/fork_join_test.cc.o.d"
+  "queueing_fork_join_test"
+  "queueing_fork_join_test.pdb"
+  "queueing_fork_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_fork_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_kendall_test.dir/queueing/kendall_test.cc.o"
+  "CMakeFiles/queueing_kendall_test.dir/queueing/kendall_test.cc.o.d"
+  "queueing_kendall_test"
+  "queueing_kendall_test.pdb"
+  "queueing_kendall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_kendall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

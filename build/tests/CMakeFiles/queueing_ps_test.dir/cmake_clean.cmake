@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_ps_test.dir/queueing/ps_test.cc.o"
+  "CMakeFiles/queueing_ps_test.dir/queueing/ps_test.cc.o.d"
+  "queueing_ps_test"
+  "queueing_ps_test.pdb"
+  "queueing_ps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_ps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_failure_test.dir/resilience/failure_test.cc.o"
+  "CMakeFiles/resilience_failure_test.dir/resilience/failure_test.cc.o.d"
+  "resilience_failure_test"
+  "resilience_failure_test.pdb"
+  "resilience_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_gdisim_test.dir/sim/gdisim_test.cc.o"
+  "CMakeFiles/sim_gdisim_test.dir/sim/gdisim_test.cc.o.d"
+  "sim_gdisim_test"
+  "sim_gdisim_test.pdb"
+  "sim_gdisim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_gdisim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

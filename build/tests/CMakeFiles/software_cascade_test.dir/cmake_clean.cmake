@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_cascade_test.dir/software/cascade_test.cc.o"
+  "CMakeFiles/software_cascade_test.dir/software/cascade_test.cc.o.d"
+  "software_cascade_test"
+  "software_cascade_test.pdb"
+  "software_cascade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_cascade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_catalog_test.dir/software/catalog_test.cc.o"
+  "CMakeFiles/software_catalog_test.dir/software/catalog_test.cc.o.d"
+  "software_catalog_test"
+  "software_catalog_test.pdb"
+  "software_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

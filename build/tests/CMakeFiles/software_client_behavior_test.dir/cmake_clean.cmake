@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_client_behavior_test.dir/software/client_behavior_test.cc.o"
+  "CMakeFiles/software_client_behavior_test.dir/software/client_behavior_test.cc.o.d"
+  "software_client_behavior_test"
+  "software_client_behavior_test.pdb"
+  "software_client_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_client_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

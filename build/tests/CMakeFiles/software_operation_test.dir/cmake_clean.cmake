@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_operation_test.dir/software/operation_test.cc.o"
+  "CMakeFiles/software_operation_test.dir/software/operation_test.cc.o.d"
+  "software_operation_test"
+  "software_operation_test.pdb"
+  "software_operation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_operation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

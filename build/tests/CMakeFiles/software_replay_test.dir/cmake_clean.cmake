@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_replay_test.dir/software/replay_test.cc.o"
+  "CMakeFiles/software_replay_test.dir/software/replay_test.cc.o.d"
+  "software_replay_test"
+  "software_replay_test.pdb"
+  "software_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_workload_test.dir/software/workload_test.cc.o"
+  "CMakeFiles/software_workload_test.dir/software/workload_test.cc.o.d"
+  "software_workload_test"
+  "software_workload_test.pdb"
+  "software_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

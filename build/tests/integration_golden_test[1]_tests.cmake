@@ -1,0 +1,3 @@
+add_test([=[Golden.FixedSeedMicroRunIsPinned]=]  /root/repo/build/tests/integration_golden_test [==[--gtest_filter=Golden.FixedSeedMicroRunIsPinned]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Golden.FixedSeedMicroRunIsPinned]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 600)
+set(  integration_golden_test_TESTS Golden.FixedSeedMicroRunIsPinned)

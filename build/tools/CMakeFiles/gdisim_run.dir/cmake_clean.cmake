@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdisim_run.dir/gdisim_run.cc.o"
+  "CMakeFiles/gdisim_run.dir/gdisim_run.cc.o.d"
+  "gdisim_run"
+  "gdisim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdisim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
