@@ -2,9 +2,13 @@
 #pragma once
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <thread>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "metrics/report.h"
 #include "sim/gdisim.h"
@@ -48,5 +52,75 @@ inline std::size_t bench_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 1 ? hw - 1 : 0;
 }
+
+/// Machine-readable bench results: an ordered flat map of string/number
+/// fields written to BENCH_<name>.json (in $GDISIM_BENCH_JSON_DIR, or the
+/// working directory) — the raw material for the perf trajectory. Typical
+/// fields: scenario, wall_seconds, sim_ticks, ticks_per_second,
+/// active_set_occupancy.
+class JsonResult {
+ public:
+  explicit JsonResult(std::string bench_name) : name_(std::move(bench_name)) {
+    set("bench", name_);
+    set("fast_mode", fast_mode() ? 1.0 : 0.0);
+  }
+
+  void set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, quote(value));
+  }
+  void set(const std::string& key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    fields_.emplace_back(key, std::string(buf));
+  }
+
+  /// Convenience: wall time + derived rate + scheduler occupancy in one go.
+  void set_run(const std::string& scenario, double wall_seconds, double sim_ticks,
+               const SchedulerStats& sched) {
+    set("scenario", scenario);
+    set("wall_seconds", wall_seconds);
+    set("sim_ticks", sim_ticks);
+    set("ticks_per_second", wall_seconds > 0.0 ? sim_ticks / wall_seconds : 0.0);
+    set("mean_active_agents", sched.mean_active());
+    set("active_set_occupancy", sched.occupancy());
+    set("agents", static_cast<double>(sched.agents));
+  }
+
+  /// Writes BENCH_<name>.json; returns false (with a note on stderr) if the
+  /// file cannot be opened.
+  bool write() const {
+    const char* dir = std::getenv("GDISIM_BENCH_JSON_DIR");
+    const std::string path =
+        (dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/" : std::string()) +
+        "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench: cannot write " << path << "\n";
+      return false;
+    }
+    out << "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out << "  " << quote(fields_[i].first) << ": " << fields_[i].second
+          << (i + 1 < fields_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    std::cout << "wrote " << path << "\n";
+    return true;
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') q += '\\';
+      q += c;
+    }
+    q += '"';
+    return q;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace gdisim::bench

@@ -6,6 +6,7 @@ BackgroundDaemon::BackgroundDaemon(std::string name, DcId home_dc, OperationCont
                                    TickClock clock, std::uint64_t seed)
     : home_dc_(home_dc), ctx_(&ctx), clock_(clock), rng_(Rng(seed).split(name)) {
   set_name(std::move(name));
+  completions_.bind_owner(this);
 }
 
 void BackgroundDaemon::launch_run(std::unique_ptr<CascadeSpec> spec, BackgroundRunRecord record,

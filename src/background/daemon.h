@@ -40,6 +40,10 @@ class BackgroundDaemon : public Agent {
   /// Drains completed runs; returns how many completed.
   std::size_t drain_completions(Tick now);
 
+  /// Whether completion messages are waiting in the inbox — daemons that are
+  /// otherwise quiescent must stay active to absorb them on time.
+  bool completions_pending() const { return !completions_.empty(); }
+
   /// Hook invoked (from the interaction phase) when a run completes.
   virtual void on_run_complete(const BackgroundRunRecord& record, Tick end_tick) = 0;
 

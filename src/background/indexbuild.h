@@ -6,6 +6,7 @@
 // (Figure 6-14: R_IB^max occurs at ~17:00, past the workload peak).
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "background/daemon.h"
@@ -31,6 +32,14 @@ class IndexBuildDaemon final : public BackgroundDaemon {
 
   void on_tick(Tick now) override;
   void on_interactions(Tick now) override { drain_completions(now); }
+
+  /// While a run is in flight the daemon only needs its completion (inbox
+  /// wake); otherwise it sleeps until the launch-after-completion deadline.
+  Tick next_wake_tick(Tick next_now) const override {
+    if (completions_pending()) return next_now;
+    if (running_) return kNeverTick;
+    return std::max(next_launch_, next_now);
+  }
 
   const IndexBuildConfig& config() const { return config_; }
 

@@ -8,6 +8,7 @@
 // allowed, per the thesis.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "background/daemon.h"
@@ -32,6 +33,13 @@ class SynchRepDaemon final : public BackgroundDaemon {
 
   void on_tick(Tick now) override;
   void on_interactions(Tick now) override { drain_completions(now); }
+
+  /// Sleeps until the next fixed-interval launch; in-flight run completions
+  /// arrive via inbox wakes.
+  Tick next_wake_tick(Tick next_now) const override {
+    if (completions_pending()) return next_now;
+    return std::max(next_launch_, next_now);
+  }
 
   const SynchRepConfig& config() const { return config_; }
 

@@ -63,11 +63,12 @@ std::vector<std::string> install_standard_probes(Collector& collector, Scenario&
       Tier* tier = dc.tier(static_cast<TierKind>(k));
       if (tier == nullptr) continue;
       std::string label = "cpu/" + dc.name() + "/" + tier_kind_name(static_cast<TierKind>(k));
-      collector.add_probe(label, [tier] { return tier->take_window_cpu_utilization(); });
+      collector.add_probe(label,
+                          [tier](Tick now) { return tier->take_window_cpu_utilization(now); });
       labels.push_back(label);
       std::string mem_label =
           "mem/" + dc.name() + "/" + tier_kind_name(static_cast<TierKind>(k));
-      collector.add_probe(mem_label, [tier] { return tier->total_memory_occupied(); });
+      collector.add_probe(mem_label, [tier](Tick) { return tier->total_memory_occupied(); });
       labels.push_back(mem_label);
     }
   }
@@ -76,23 +77,24 @@ std::vector<std::string> install_standard_probes(Collector& collector, Scenario&
       LinkComponent* link = topo.link(a, b);
       if (link == nullptr) continue;
       std::string label = "net/" + topo.dc(a).name() + "->" + topo.dc(b).name();
-      collector.add_probe(label, [link] { return link->take_window_utilization(); });
+      collector.add_probe(label,
+                          [link](Tick now) { return link->take_window_utilization(now); });
       labels.push_back(label);
     }
   }
   Scenario* sc = &scenario;
-  collector.add_probe("clients/logged_in", [sc] {
+  collector.add_probe("clients/logged_in", [sc](Tick) {
     return static_cast<double>(sc->total_logged_in());
   });
   labels.push_back("clients/logged_in");
-  collector.add_probe("clients/active", [sc] {
+  collector.add_probe("clients/active", [sc](Tick) {
     return static_cast<double>(sc->total_active());
   });
   labels.push_back("clients/active");
   for (auto& l : scenario.launchers) {
     SeriesLauncher* sl = l.get();
     std::string label = "series/" + std::string(sl->name());
-    collector.add_probe(label, [sl] { return static_cast<double>(sl->concurrent()); });
+    collector.add_probe(label, [sl](Tick) { return static_cast<double>(sl->concurrent()); });
     labels.push_back(label);
   }
   return labels;

@@ -6,18 +6,65 @@
 // processed by an agent whose local clock has not yet reached t; the Inbox
 // enforces this with visibility timestamps and restores determinism under
 // multithreading by sorting deliveries on (visible_at, sender, sequence).
+//
+// Quiescence (active-set scheduling, DESIGN.md "Scheduler"): after its
+// phases an agent reports the next tick at which it needs the time-increment
+// signal. Agents that cannot predict their next activity return kEveryTick
+// (the dense-sweep default); truly idle agents return kNeverTick and are
+// re-armed by the loop when a delivery lands in their inbox, which forwards
+// a wake request through the bound AgentWakeScheduler.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/types.h"
 
 namespace gdisim {
+
+/// Wake-request sink bound to agents by the simulation loop when active-set
+/// scheduling is enabled. wake() may be called from any worker thread.
+class AgentWakeScheduler {
+ public:
+  virtual ~AgentWakeScheduler() = default;
+  virtual void wake(AgentId id) = 0;
+};
+
+/// Test-and-test-and-set spinlock guarding the short inbox critical
+/// sections; yields while contended so a preempted holder on a small host
+/// does not cost the waiter a full scheduling quantum of spinning.
+class SpinLock {
+ public:
+  void lock() noexcept {
+    int spins = 0;
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins >= 64) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Small dense id for the calling thread, used to pick a staging shard.
+/// Ids are assigned on first use, so any thread — engine worker, master, or
+/// a raw std::thread in a test — gets a stable shard.
+inline std::size_t this_thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
 
 class Agent {
  public:
@@ -36,12 +83,41 @@ class Agent {
   /// Interaction step: absorb deliveries that became visible at <= now+1.
   virtual void on_interactions(Tick /*now*/) {}
 
+  /// Queried by the loop after the interaction phase: the next tick at which
+  /// this agent needs its phases to run. `next_now` is the upcoming tick
+  /// (now + 1). Returning kEveryTick keeps the agent permanently in the
+  /// active set (dense behaviour — the safe default); kNeverTick parks it
+  /// until a delivery wakes it; any other value schedules a calendar wake
+  /// (values <= next_now mean "next iteration").
+  virtual Tick next_wake_tick(Tick next_now) const {
+    (void)next_now;
+    return kEveryTick;
+  }
+
+  /// Bound by the loop when active-set scheduling is on; unbound otherwise,
+  /// which makes request_wake() a no-op under the dense sweep.
+  void bind_wake_scheduler(AgentWakeScheduler* scheduler) { wake_scheduler_ = scheduler; }
+
+  /// Optional pointer to this agent's "wake already pending/scheduled" flag,
+  /// bound by the loop once agent registration is complete. Lets the hot
+  /// request_wake path (one call per delivery) skip the virtual dispatch
+  /// when a wake would be redundant anyway.
+  void set_wake_hint(const std::atomic<bool>* hint) { wake_hint_ = hint; }
+
+  /// Thread-safe: ensure this agent participates in the next phase.
+  void request_wake() {
+    if (wake_hint_ != nullptr && wake_hint_->load(std::memory_order_relaxed)) return;
+    if (wake_scheduler_ != nullptr && id_ != kInvalidAgent) wake_scheduler_->wake(id_);
+  }
+
   /// Monotonic per-agent sequence for deterministic delivery ordering.
   std::uint64_t next_send_seq() { return send_seq_++; }
 
  private:
   std::string name_;
   AgentId id_ = kInvalidAgent;
+  AgentWakeScheduler* wake_scheduler_ = nullptr;
+  const std::atomic<bool>* wake_hint_ = nullptr;
   std::uint64_t send_seq_ = 0;
 };
 
@@ -57,50 +133,99 @@ struct Delivery {
 /// Thread-safe inbox with deterministic drain order. Senders post from any
 /// worker thread during the tick phase; the owner drains during its own
 /// interaction phase.
+///
+/// The hot path is sharded: posts go to one of kShards staging buffers
+/// picked by the calling thread's id, each guarded by its own spinlock, so
+/// concurrent senders do not serialize on a single per-agent mutex. The
+/// shards are merged at drain time and sorted on (visible_at, sender, seq),
+/// which makes the drained order independent of both thread scheduling and
+/// shard assignment — the determinism argument is unchanged from the
+/// single-mutex version.
 template <typename T>
 class Inbox {
  public:
+  /// Binds the owning agent so posts can request a wake when the owner is
+  /// parked by the active-set scheduler.
+  void bind_owner(Agent* owner) { owner_ = owner; }
+
   void post(Tick visible_at, AgentId sender, std::uint64_t seq, T payload) {
-    std::lock_guard<std::mutex> lock(mu_);
-    pending_.push_back(Delivery<T>{visible_at, sender, seq, std::move(payload)});
-    approx_size_.store(pending_.size(), std::memory_order_release);
+    // Conservative count first: empty() may report false positives while a
+    // post is in flight, but never a false "empty" for a delivery that
+    // happened-before the check.
+    approx_size_.fetch_add(1, std::memory_order_release);
+    Shard& s = shards_[this_thread_shard() & (kShards - 1)];
+    s.count.fetch_add(1, std::memory_order_release);
+    s.lock.lock();
+    s.pending.push_back(Delivery<T>{visible_at, sender, seq, std::move(payload)});
+    s.lock.unlock();
+    if (owner_ != nullptr) owner_->request_wake();
   }
 
-  /// Removes and returns all deliveries with visible_at <= now, sorted by
-  /// (visible_at, sender, seq) so the result does not depend on thread
-  /// scheduling.
+  /// Removes all deliveries with visible_at <= now into `ready` (cleared
+  /// first), sorted by (visible_at, sender, seq) so the result does not
+  /// depend on thread scheduling. Callers that drain every tick should pass
+  /// a reusable scratch vector so its capacity amortizes across drains.
+  void drain_visible_into(Tick now, std::vector<Delivery<T>>& ready) {
+    ready.clear();
+    // Fast path: agents poll their inbox every active tick; most polls find
+    // it empty, and touching 8 locks 200M times would dominate the profile.
+    if (approx_size_.load(std::memory_order_acquire) == 0) return;
+    for (Shard& s : shards_) {
+      // Per-shard count: posts land on the sender's own shard, so most
+      // drains only need the one or two shards that actually have mail.
+      if (s.count.load(std::memory_order_acquire) == 0) continue;
+      s.lock.lock();
+      auto split = std::partition(s.pending.begin(), s.pending.end(),
+                                  [now](const Delivery<T>& d) { return d.visible_at > now; });
+      const std::size_t taken = static_cast<std::size_t>(s.pending.end() - split);
+      for (auto it = split; it != s.pending.end(); ++it) ready.push_back(std::move(*it));
+      s.pending.erase(split, s.pending.end());
+      s.lock.unlock();
+      if (taken > 0) s.count.fetch_sub(static_cast<std::uint32_t>(taken), std::memory_order_release);
+    }
+    if (!ready.empty()) {
+      approx_size_.fetch_sub(static_cast<std::int64_t>(ready.size()),
+                             std::memory_order_release);
+    }
+    if (ready.size() > 1) {
+      std::sort(ready.begin(), ready.end(), [](const Delivery<T>& a, const Delivery<T>& b) {
+        if (a.visible_at != b.visible_at) return a.visible_at < b.visible_at;
+        if (a.sender != b.sender) return a.sender < b.sender;
+        return a.seq < b.seq;
+      });
+    }
+  }
+
+  /// Convenience wrapper returning a fresh vector; prefer drain_visible_into
+  /// on hot paths.
   std::vector<Delivery<T>> drain_visible(Tick now) {
     std::vector<Delivery<T>> ready;
-    // Fast path: agents poll their inbox every tick; most polls find it
-    // empty, and taking the mutex 200M times dominates the profile.
-    if (approx_size_.load(std::memory_order_acquire) == 0) return ready;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto split = std::partition(pending_.begin(), pending_.end(),
-                                  [now](const Delivery<T>& d) { return d.visible_at > now; });
-      ready.assign(std::make_move_iterator(split), std::make_move_iterator(pending_.end()));
-      pending_.erase(split, pending_.end());
-      approx_size_.store(pending_.size(), std::memory_order_release);
-    }
-    std::sort(ready.begin(), ready.end(), [](const Delivery<T>& a, const Delivery<T>& b) {
-      if (a.visible_at != b.visible_at) return a.visible_at < b.visible_at;
-      if (a.sender != b.sender) return a.sender < b.sender;
-      return a.seq < b.seq;
-    });
+    drain_visible_into(now, ready);
     return ready;
   }
 
   bool empty() const { return approx_size_.load(std::memory_order_acquire) == 0; }
 
+  /// Exact once all posters have synchronized with the caller (the counter
+  /// is adjusted on every post/drain).
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return pending_.size();
+    const std::int64_t n = approx_size_.load(std::memory_order_acquire);
+    return n > 0 ? static_cast<std::size_t>(n) : 0;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Delivery<T>> pending_;
-  std::atomic<std::size_t> approx_size_{0};
+  static constexpr std::size_t kShards = 8;
+  struct alignas(64) Shard {
+    SpinLock lock;
+    /// Deliveries staged in this shard; same conservative semantics as
+    /// approx_size_ but lets the drain skip empty shards' locks.
+    std::atomic<std::uint32_t> count{0};
+    std::vector<Delivery<T>> pending;
+  };
+
+  std::array<Shard, kShards> shards_;
+  Agent* owner_ = nullptr;
+  std::atomic<std::int64_t> approx_size_{0};
 };
 
 }  // namespace gdisim

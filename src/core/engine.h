@@ -29,12 +29,19 @@ class ExecutionEngine {
   /// `fn` must be safe to call concurrently for distinct indices.
   virtual void for_each(std::size_t count, const std::function<void(std::size_t)>& fn) = 0;
 
+  /// True when for_each runs entirely inline on the caller's thread. Lets
+  /// the simulation loop skip the std::function indirection (one virtual
+  /// dispatch per agent per phase — measurable at hundreds of millions of
+  /// agent-phases per run) and loop directly.
+  virtual bool serial() const { return false; }
+
   virtual std::string_view name() const = 0;
 };
 
 class SerialEngine final : public ExecutionEngine {
  public:
   void for_each(std::size_t count, const std::function<void(std::size_t)>& fn) override;
+  bool serial() const override { return true; }
   std::string_view name() const override { return "serial"; }
 };
 

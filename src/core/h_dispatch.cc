@@ -39,8 +39,8 @@ void HDispatchEngine::for_each(std::size_t count, const std::function<void(std::
     return;
   }
 
-  phase_count_ = count;
-  phase_fn_ = &fn;
+  phase_count_.store(count, std::memory_order_relaxed);
+  phase_fn_.store(&fn, std::memory_order_relaxed);
   cursor_.store(0, std::memory_order_relaxed);
   finished_workers_.store(0, std::memory_order_relaxed);
   generation_.fetch_add(1, std::memory_order_release);
@@ -61,10 +61,12 @@ void HDispatchEngine::for_each(std::size_t count, const std::function<void(std::
     for (std::size_t i = begin; i < end; ++i) fn(i);
   }
 
-  // Wait for stragglers: spin, then sleep.
+  // Wait for stragglers: spin, then sleep. The acquire load of
+  // finished_workers_ pairs with each worker's acq_rel increment, so every
+  // worker's final read of phase_fn_ happens-before the clear below.
   for (int spin = 0; spin < spin_budget(); ++spin) {
     if (finished_workers_.load(std::memory_order_acquire) == workers_.size()) {
-      phase_fn_ = nullptr;
+      phase_fn_.store(nullptr, std::memory_order_relaxed);
       return;
     }
     if ((spin & 63) == 63) std::this_thread::yield();
@@ -73,7 +75,7 @@ void HDispatchEngine::for_each(std::size_t count, const std::function<void(std::
   done_cv_.wait(lock, [this] {
     return finished_workers_.load(std::memory_order_acquire) == workers_.size();
   });
-  phase_fn_ = nullptr;
+  phase_fn_.store(nullptr, std::memory_order_relaxed);
 }
 
 void HDispatchEngine::worker_loop() {
@@ -98,8 +100,8 @@ void HDispatchEngine::worker_loop() {
       if (stop_.load(std::memory_order_acquire)) return;
     }
     seen_generation = generation_.load(std::memory_order_acquire);
-    const std::size_t count = phase_count_;
-    const std::function<void(std::size_t)>* fn = phase_fn_;
+    const std::size_t count = phase_count_.load(std::memory_order_relaxed);
+    const std::function<void(std::size_t)>* fn = phase_fn_.load(std::memory_order_relaxed);
 
     // Pull agent sets from the H-Dispatch queue until it runs dry.
     for (;;) {

@@ -31,6 +31,7 @@ class HDispatchEngine final : public ExecutionEngine {
   ~HDispatchEngine() override;
 
   void for_each(std::size_t count, const std::function<void(std::size_t)>& fn) override;
+  bool serial() const override { return workers_.empty(); }
   std::string_view name() const override { return "h-dispatch"; }
 
   std::size_t agent_set_size() const { return agent_set_size_; }
@@ -43,11 +44,14 @@ class HDispatchEngine final : public ExecutionEngine {
   std::vector<std::thread> workers_;
 
   // Phase handshake. phase_count_/phase_fn_ are published by the release
-  // store on generation_ and read after the acquire load.
+  // store on generation_ and read after the acquire load; they are atomics
+  // (relaxed accesses) so the master's clear of phase_fn_ after the
+  // acquire/release handshake on finished_workers_ is formally race-free
+  // against a straggler's read, keeping TSan clean.
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<bool> stop_{false};
-  std::size_t phase_count_ = 0;
-  const std::function<void(std::size_t)>* phase_fn_ = nullptr;
+  std::atomic<std::size_t> phase_count_{0};
+  std::atomic<const std::function<void(std::size_t)>*> phase_fn_{nullptr};
   std::atomic<std::size_t> cursor_{0};
   std::atomic<std::size_t> finished_workers_{0};
 

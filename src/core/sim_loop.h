@@ -1,19 +1,30 @@
 // The discrete time loop (thesis §4.3.1).
 //
-// A centralized timer drives the heartbeat: at every step all agents receive
-// the time-increment signal, then the interaction step absorbs deliveries,
-// and periodically the measurement-collection signal samples agent state.
+// A centralized timer drives the heartbeat: at every step all *active*
+// agents receive the time-increment signal, then the interaction step
+// absorbs deliveries, and periodically the measurement-collection signal
+// samples agent state.
 //
 // Iteration with now == T means:
-//   1. tick phase:        every agent advances through (T, T+1]; work that
-//                         completes is forwarded stamped visible_at = T+1.
-//   2. interaction phase: every agent absorbs deliveries visible_at <= T+1
-//                         into its service queues; they first receive
-//                         service during tick T+1 (consistency rule §4.3.3).
+//   1. tick phase:        every active agent advances through (T, T+1]; work
+//                         that completes is forwarded stamped visible_at = T+1.
+//   2. interaction phase: every active agent absorbs deliveries
+//                         visible_at <= T+1 into its service queues; they
+//                         first receive service during tick T+1 (consistency
+//                         rule §4.3.3).
 //   3. collection phase:  every `collect_every` iterations the registered
 //                         collection callback samples the whole system.
+//
+// Scheduler modes (DESIGN.md "Scheduler"): the default active-set scheduler
+// runs the phases only for agents that are due — always-active agents,
+// calendar wakes reported via Agent::next_wake_tick, and agents woken by a
+// delivery posted to their inbox. kDenseSweep restores the original
+// run-everyone-every-tick loop and serves as the reference-run oracle.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -21,21 +32,56 @@
 #include "core/agent.h"
 #include "core/engine.h"
 #include "core/types.h"
+#include "core/wake_calendar.h"
 
 namespace gdisim {
+
+enum class SchedulerMode {
+  kActiveSet,   ///< phase cost proportional to active agents (default)
+  kDenseSweep,  ///< original dense sweep; A/B oracle for the active set
+};
 
 struct SimLoopConfig {
   double tick_seconds = 0.01;
   /// Interval (in ticks) between measurement-collection signals; 0 disables.
   Tick collect_every = 0;
+  SchedulerMode scheduler = SchedulerMode::kActiveSet;
 };
 
-class SimulationLoop {
+/// Active-set occupancy counters (exposed as a collector series and by the
+/// bench JSON emitter). Under the dense sweep every agent counts as active,
+/// so occupancy() == 1.
+struct SchedulerStats {
+  std::uint64_t iterations = 0;
+  /// Sum over iterations of the interaction-phase active-set size.
+  std::uint64_t agent_phase_runs = 0;
+  std::size_t last_active = 0;
+  std::size_t agents = 0;
+  /// Iterations each agent participated in — the per-agent occupancy
+  /// breakdown behind mean_active() (who keeps the set hot).
+  std::vector<std::uint64_t> per_agent_runs;
+
+  double mean_active() const {
+    return iterations > 0 ? static_cast<double>(agent_phase_runs) /
+                                static_cast<double>(iterations)
+                          : 0.0;
+  }
+  double occupancy() const {
+    return agents > 0 && iterations > 0 ? mean_active() / static_cast<double>(agents) : 1.0;
+  }
+};
+
+class SimulationLoop : public AgentWakeScheduler {
  public:
   SimulationLoop(SimLoopConfig config, ExecutionEngine& engine)
-      : config_(config), clock_(config.tick_seconds), engine_(&engine) {}
+      : config_(config),
+        clock_(config.tick_seconds),
+        engine_(&engine),
+        active_mode_(config.scheduler == SchedulerMode::kActiveSet) {}
 
-  /// Registers an agent (non-owning) and assigns its dense id.
+  /// Registers an agent (non-owning) and assigns its dense id. Under the
+  /// active-set scheduler this also binds the agent's wake hook; agents must
+  /// be registered before the run starts.
   AgentId add_agent(Agent* agent);
 
   /// Runs until simulated `end_tick` (exclusive).
@@ -48,10 +94,25 @@ class SimulationLoop {
   void step();
 
   Tick now() const { return now_; }
+  Agent* agent(AgentId id) const { return agents_[id]; }
   double now_seconds() const { return clock_.to_seconds(now_); }
   const TickClock& clock() const { return clock_; }
   const SimLoopConfig& config() const { return config_; }
   std::size_t agent_count() const { return agents_.size(); }
+  SchedulerMode scheduler_mode() const {
+    return active_mode_ ? SchedulerMode::kActiveSet : SchedulerMode::kDenseSweep;
+  }
+
+  /// Thread-safe (AgentWakeScheduler): ensures the agent participates in the
+  /// next phase. Posting to a bound Inbox calls this automatically.
+  void wake(AgentId id) override;
+
+  const SchedulerStats& scheduler_stats() const { return stats_; }
+
+  /// Mean interaction-phase active-set size since the previous call — the
+  /// collector probe behind the "scheduler/active_agents" series. Resets the
+  /// window.
+  double take_window_active_mean();
 
   /// Measurement-collection control signal target (thesis Collector
   /// Component). Invoked with the tick at which the sample is taken.
@@ -68,6 +129,25 @@ class SimulationLoop {
   void set_engine(ExecutionEngine& engine) { engine_ = &engine; }
 
  private:
+  void step_dense(Tick now);
+  void step_active(Tick now);
+  void admit(AgentId id);
+  void drain_woken();
+  void rearm_active(Tick now);
+  void maybe_collect(Tick now);
+
+  /// Runs one phase body over [0, n). When the engine executes inline this
+  /// skips the std::function indirection entirely — one indirect call per
+  /// agent per phase adds up to hundreds of millions per run.
+  template <typename F>
+  void run_phase(std::size_t n, F&& f) {
+    if (engine_serial_) {
+      for (std::size_t i = 0; i < n; ++i) f(i);
+    } else {
+      engine_->for_each(n, std::forward<F>(f));
+    }
+  }
+
   SimLoopConfig config_;
   TickClock clock_;
   ExecutionEngine* engine_;
@@ -75,6 +155,49 @@ class SimulationLoop {
   std::function<void(Tick)> collect_cb_;
   std::vector<std::function<void(Tick)>> pre_tick_hooks_;
   Tick now_ = 0;
+  bool active_mode_;
+  bool engine_serial_ = false;
+  bool hints_bound_ = false;
+
+  // --- Active-set scheduler state (master-only except where noted). ---
+  /// Ids whose phases run this iteration; grows mid-iteration when tick-phase
+  /// deliveries wake their recipients for the interaction phase.
+  std::vector<AgentId> active_;
+  /// next_wake_tick answers gathered during the interaction phase (indexed
+  /// like active_; each slot written by exactly one worker).
+  std::vector<Tick> rearm_;
+  /// Agents that answered kEveryTick — sticky members of every active set.
+  std::vector<AgentId> always_active_;
+  std::vector<char> in_always_;
+  /// Agents due next iteration (wake <= now + 1); bypasses the wheel.
+  std::vector<AgentId> immediate_;
+  WakeCalendar calendar_;
+  /// Per-iteration dedup for admissions.
+  std::vector<std::uint64_t> epoch_mark_;
+  std::uint64_t epoch_ = 0;
+
+  // Cross-thread wake path: a per-agent flag dedups requests (cleared by the
+  // master when the wake is consumed at a barrier), sharded id lists absorb
+  // the surviving pushes. Safe for any thread; merged only at barriers. The
+  // flags live in a flat array (reallocated only in add_agent, which is
+  // master-only and pre-run) because wake() is called once per delivery.
+  std::unique_ptr<std::atomic<bool>[]> wake_flag_;
+  std::size_t wake_flag_count_ = 0;
+  std::size_t wake_flag_cap_ = 0;
+  /// Number of ids sitting in the woken shards; lets drain_woken skip the
+  /// shard sweep (16 lock round-trips) on quiet iterations.
+  std::atomic<std::size_t> woken_pending_{0};
+  static constexpr std::size_t kWokenShards = 8;
+  struct alignas(64) WokenShard {
+    SpinLock lock;
+    std::vector<AgentId> ids;
+  };
+  std::array<WokenShard, kWokenShards> woken_;
+  std::vector<AgentId> woken_scratch_;
+
+  SchedulerStats stats_;
+  double window_active_accum_ = 0.0;
+  std::uint64_t window_iters_ = 0;
 };
 
 }  // namespace gdisim

@@ -19,6 +19,10 @@ using Tick = std::int64_t;
 /// Sentinel for "no deadline / never".
 inline constexpr Tick kNeverTick = std::numeric_limits<Tick>::max();
 
+/// Wake-policy sentinel (Agent::next_wake_tick): the agent wants the
+/// time-increment signal on every tick, like the original dense sweep.
+inline constexpr Tick kEveryTick = -1;
+
 /// Identifier of an agent registered with the simulation loop. Dense,
 /// assigned at registration time, usable as a vector index.
 using AgentId = std::uint32_t;

@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "core/agent.h"
 #include "core/types.h"
@@ -52,6 +53,8 @@ struct StageJob {
 
 class Component : public Agent {
  public:
+  Component() { inbox_.bind_owner(this); }
+
   /// Thread-safe submission; the job becomes serviceable at `visible_at`.
   /// (sender, seq) make the inbox drain order deterministic.
   void submit(Tick visible_at, AgentId sender, std::uint64_t seq, StageJob job) {
@@ -59,16 +62,27 @@ class Component : public Agent {
   }
 
   void on_interactions(Tick now) override {
-    for (auto& d : inbox_.drain_visible(now)) accept(d.payload);
+    if (inbox_.empty()) return;
+    inbox_.drain_visible_into(now, drain_scratch_);
+    for (auto& d : drain_scratch_) accept(d.payload);
   }
 
   void on_tick(Tick now) final {
-    const double instant = instant_accum_.exchange(0.0, std::memory_order_relaxed);
-    const double cap = capacity_per_second() * tick_seconds_;
-    instant_fraction_ = cap > 0.0 ? instant / cap : 0.0;
+    // Load-then-store beats an unconditional exchange here: the bucket is
+    // almost always zero, and any writer during tick `now` targets the
+    // *other* parity bucket, so the non-atomic-looking sequence cannot lose
+    // an update.
+    std::atomic<double>& bucket = instant_buckets_[static_cast<std::size_t>(now) & 1];
+    const double instant = bucket.load(std::memory_order_relaxed);
+    if (instant != 0.0) {
+      bucket.store(0.0, std::memory_order_relaxed);
+      const double cap = capacity_per_second() * tick_seconds_;
+      instant_fraction_ = cap > 0.0 ? instant / cap : 0.0;
+    } else {
+      instant_fraction_ = 0.0;  // 0 / cap — skip the virtual capacity call
+    }
     advance_tick(now, tick_seconds_);
     window_accum_ += utilization();
-    ++window_ticks_;
   }
 
   /// Set by the infrastructure builder before the run starts.
@@ -83,19 +97,46 @@ class Component : public Agent {
 
   /// Mean utilization since the previous call — what the measurement
   /// collection signal samples (thesis: snapshots average many per-tick
-  /// samples). Resets the window.
-  double take_window_utilization() {
-    const double u = window_ticks_ > 0 ? window_accum_ / static_cast<double>(window_ticks_)
-                                       : utilization();
+  /// samples). `now` is the sample tick; the denominator is wall ticks, not
+  /// ticks executed, so a component parked by the active-set scheduler
+  /// (which would have accumulated exactly zero on every skipped tick)
+  /// reports the same mean as under the dense sweep. Resets the window.
+  double take_window_utilization(Tick now) {
+    const Tick span = now - window_start_tick_;
+    const double u = span > 0 ? window_accum_ / static_cast<double>(span) : utilization();
     window_accum_ = 0.0;
-    window_ticks_ = 0;
+    window_start_tick_ = now;
     return u;
   }
 
-  /// Records work served "instantly" (below the sub-tick threshold).
-  /// Thread-safe; callable from any worker during routing.
-  void account_instant(double work) {
-    instant_accum_.fetch_add(work, std::memory_order_relaxed);
+  /// Records work served "instantly" (below the sub-tick threshold) at tick
+  /// `now`. Thread-safe; callable from any worker during routing. The work
+  /// is folded into utilization at tick now + 1 regardless of how the
+  /// accounting interleaves with this component's own tick phase — two
+  /// buckets indexed by tick parity separate "accumulating" from "folding",
+  /// which makes utilization attribution deterministic under any thread
+  /// schedule and identical between scheduler modes.
+  void account_instant(double work, Tick now) {
+    instant_buckets_[static_cast<std::size_t>(now + 1) & 1].fetch_add(
+        work, std::memory_order_relaxed);
+    request_wake();
+  }
+
+  /// Active when it has queued/in-service jobs, pending deliveries, or
+  /// pending instant work; otherwise parked until a delivery or instant
+  /// accounting wakes it. Residual state (last tick's raw_utilization /
+  /// instant_fraction_) does NOT keep the component awake: the decay tick
+  /// that would zero them contributes exactly 0 to every window accumulator
+  /// (empty queue, empty bucket), so all collected series are unchanged —
+  /// only the stale instantaneous utilization() value lingers, and nothing
+  /// in the simulator probes it between wakes.
+  Tick next_wake_tick(Tick next_now) const override {
+    if (queue_length() > 0 || !inbox_.empty() ||
+        instant_buckets_[0].load(std::memory_order_relaxed) != 0.0 ||
+        instant_buckets_[1].load(std::memory_order_relaxed) != 0.0) {
+      return next_now;
+    }
+    return kNeverTick;
   }
 
   /// Aggregate service capacity in work units per second (all servers).
@@ -120,11 +161,16 @@ class Component : public Agent {
 
  private:
   Inbox<StageJob> inbox_;
+  /// Reused drain buffer; its capacity amortizes across interaction phases.
+  std::vector<Delivery<StageJob>> drain_scratch_;
   double tick_seconds_ = 0.0;
-  std::atomic<double> instant_accum_{0.0};
+  /// Tick-parity double buffer: work accounted at tick t lands in bucket
+  /// (t+1)&1 and is folded by on_tick(t+1), which reads bucket (t+1)&1. The
+  /// phase barrier separates all writers of a bucket from its reader.
+  std::atomic<double> instant_buckets_[2] = {0.0, 0.0};
   double instant_fraction_ = 0.0;
   double window_accum_ = 0.0;
-  std::uint64_t window_ticks_ = 0;
+  Tick window_start_tick_ = 0;
 };
 
 }  // namespace gdisim

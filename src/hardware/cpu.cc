@@ -22,7 +22,7 @@ void CpuComponent::accept(StageJob job) {
   // chosen socket; total cycles are unchanged, latency shrinks.
   const unsigned shares =
       std::max(1u, std::min(job.parallelism, spec_.effective_cores_per_socket()));
-  auto* pending = new PendingJob{job, shares};
+  PendingJob* pending = pool_.create(PendingJob{job, shares});
   const double share_work = job.work / static_cast<double>(shares);
   for (unsigned k = 0; k < shares; ++k) sockets_[best].enqueue(share_work, pending);
 }
@@ -30,13 +30,13 @@ void CpuComponent::accept(StageJob job) {
 void CpuComponent::advance_tick(Tick now, double dt) {
   double util_sum = 0.0;
   for (auto& socket : sockets_) {
-    AdvanceResult r = socket.advance(dt);
+    socket.advance(dt, completed_);
     util_sum += socket.last_utilization();
-    for (JobCtx ctx : r.completed) {
+    for (JobCtx ctx : completed_) {
       auto* pending = static_cast<PendingJob*>(ctx);
       if (--pending->outstanding > 0) continue;
-      std::unique_ptr<PendingJob> owned(pending);
-      owned->stage.handler->on_stage_complete(*this, now, owned->stage.tag);
+      pending->stage.handler->on_stage_complete(*this, now, pending->stage.tag);
+      pool_.destroy(pending);
     }
   }
   last_utilization_ = util_sum / static_cast<double>(sockets_.size());

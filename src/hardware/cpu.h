@@ -59,6 +59,8 @@ class CpuComponent final : public Component {
 
   CpuSpec spec_;
   std::vector<FcfsMultiServerQueue> sockets_;
+  JobPool<PendingJob> pool_;
+  std::vector<JobCtx> completed_;
   double last_utilization_ = 0.0;
 };
 

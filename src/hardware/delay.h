@@ -25,17 +25,21 @@ class DelayComponent final : public Component {
   void accept(StageJob job) override { in_flight_.push_back(job); }
 
   void advance_tick(Tick now, double dt) override {
-    std::vector<StageJob> remaining;
-    remaining.reserve(in_flight_.size());
-    for (StageJob& job : in_flight_) {
+    // In-place compaction (stable, same survivor order as a copy pass) so a
+    // busy station does not allocate every tick. Completion handlers never
+    // touch in_flight_ directly — forwarded work goes through inboxes.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < in_flight_.size(); ++i) {
+      StageJob& job = in_flight_[i];
       job.work -= dt;
       if (job.work <= 1e-12) {
         job.handler->on_stage_complete(*this, now, job.tag);
       } else {
-        remaining.push_back(job);
+        if (keep != i) in_flight_[keep] = job;
+        ++keep;
       }
     }
-    in_flight_ = std::move(remaining);
+    in_flight_.resize(keep);
   }
 
  private:

@@ -37,19 +37,22 @@ class LinkComponent final : public Component {
 
  protected:
   double raw_utilization() const override { return queue_.last_utilization(); }
-  void accept(StageJob job) override { queue_.enqueue(job.work, new StageJob(job)); }
+  void accept(StageJob job) override { queue_.enqueue(job.work, pool_.create(job)); }
 
   void advance_tick(Tick now, double dt) override {
-    AdvanceResult r = queue_.advance(dt);
-    for (JobCtx ctx : r.completed) {
-      std::unique_ptr<StageJob> job(static_cast<StageJob*>(ctx));
+    queue_.advance(dt, completed_);
+    for (JobCtx ctx : completed_) {
+      StageJob* job = static_cast<StageJob*>(ctx);
       job->handler->on_stage_complete(*this, now, job->tag);
+      pool_.destroy(job);
     }
   }
 
  private:
   LinkSpec spec_;
   PsQueue queue_;
+  JobPool<StageJob> pool_;
+  std::vector<JobCtx> completed_;
 };
 
 }  // namespace gdisim

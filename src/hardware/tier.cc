@@ -46,9 +46,9 @@ double Tier::mean_cpu_utilization() const {
   return sum / static_cast<double>(servers_.size());
 }
 
-double Tier::take_window_cpu_utilization() {
+double Tier::take_window_cpu_utilization(Tick now) {
   double sum = 0.0;
-  for (auto& s : servers_) sum += s->cpu().take_window_utilization();
+  for (auto& s : servers_) sum += s->cpu().take_window_utilization(now);
   return sum / static_cast<double>(servers_.size());
 }
 

@@ -47,8 +47,8 @@ class Tier {
   double mean_cpu_utilization() const;
 
   /// Windowed variant for the collector: mean over all ticks since the
-  /// previous collection signal.
-  double take_window_cpu_utilization();
+  /// previous collection signal (`now` is the sample tick).
+  double take_window_cpu_utilization(Tick now);
 
   /// Total memory occupied across the tier, bytes (workload-driven model).
   double total_memory_occupied() const;

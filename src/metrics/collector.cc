@@ -11,7 +11,7 @@ std::size_t Collector::add_probe(std::string label, Probe probe) {
 void Collector::collect(Tick now) {
   const double t = static_cast<double>(now) * tick_seconds_;
   for (std::size_t i = 0; i < probes_.size(); ++i) {
-    series_[i].append(t, probes_[i]());
+    series_[i].append(t, probes_[i](now));
   }
 }
 

@@ -17,7 +17,10 @@ class Collector {
  public:
   explicit Collector(double tick_seconds) : tick_seconds_(tick_seconds) {}
 
-  using Probe = std::function<double()>;
+  /// Probes receive the sample tick so windowed metrics can use wall ticks
+  /// as their denominator (exact under the active-set scheduler, where
+  /// agents do not execute every tick).
+  using Probe = std::function<double(Tick)>;
 
   /// Registers a probe; returns its index.
   std::size_t add_probe(std::string label, Probe probe);

@@ -22,8 +22,11 @@ void FcfsMultiServerQueue::enqueue(double work, JobCtx ctx) {
 
 AdvanceResult FcfsMultiServerQueue::advance(double dt) {
   AdvanceResult result;
-  if (dt <= 0.0) return result;
+  result.work_done = advance(dt, result.completed);
+  return result;
+}
 
+double FcfsMultiServerQueue::advance_busy(double dt, std::vector<JobCtx>& completed) {
   const double budget_per_server = rate_per_server_ * dt;
   double total_work = 0.0;
 
@@ -39,7 +42,7 @@ AdvanceResult FcfsMultiServerQueue::advance(double dt) {
       budget -= served;
       total_work += served;
       if (job.remaining <= 0.0) {
-        result.completed.push_back(job.ctx);
+        completed.push_back(job.ctx);
         ++completed_jobs_;
         if (!waiting_.empty()) {
           in_service_[slot] = waiting_.front();
@@ -64,11 +67,10 @@ AdvanceResult FcfsMultiServerQueue::advance(double dt) {
     // pop simply shrinks the vector and the loop ends.
   }
 
-  result.work_done = total_work;
   last_utilization_ = total_work / (static_cast<double>(servers_) * budget_per_server);
   busy_server_seconds_ += total_work / rate_per_server_;
   elapsed_seconds_ += dt;
-  return result;
+  return total_work;
 }
 
 }  // namespace gdisim

@@ -8,12 +8,39 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace gdisim {
 
 /// Opaque owner context attached to a queued job.
 using JobCtx = void*;
+
+/// Recycling allocator for per-job owner contexts. Queues identify in-flight
+/// jobs by an opaque pointer that must stay stable until completion, so
+/// components allocate one context per accepted job and free it when the job
+/// finishes — at millions of jobs per run that malloc/free pair dominates the
+/// accept/complete path. The pool hands back freed slots instead. Not
+/// thread-safe: each component touches its own pool only from its own phases.
+template <typename T>
+class JobPool {
+ public:
+  T* create(const T& value) {
+    if (!free_.empty()) {
+      T* slot = free_.back();
+      free_.pop_back();
+      *slot = value;
+      return slot;
+    }
+    slots_.push_back(std::make_unique<T>(value));
+    return slots_.back().get();
+  }
+  void destroy(T* slot) { free_.push_back(slot); }
+
+ private:
+  std::vector<std::unique_ptr<T>> slots_;
+  std::vector<T*> free_;
+};
 
 struct QueuedJob {
   double remaining = 0.0;  ///< work left, in the queue's service unit

@@ -38,8 +38,11 @@ void PsQueue::admit_waiting() {
 
 AdvanceResult PsQueue::advance(double dt) {
   AdvanceResult result;
-  if (dt <= 0.0) return result;
+  result.work_done = advance(dt, result.completed);
+  return result;
+}
 
+double PsQueue::advance_busy(double dt, std::vector<JobCtx>& completed) {
   // 1. Serve the active set, splitting capacity equally. Jobs that finish
   //    mid-step release their share to the others; iterate in sub-steps
   //    until the budget is exhausted or nothing is active.
@@ -57,46 +60,51 @@ AdvanceResult PsQueue::advance(double dt) {
     // elapsed before it finished service (phase 2 subtracts the full dt).
     const double elapsed_at_finish = (dt - remaining_dt) + step;
 
-    std::vector<QueuedJob> still_active;
-    still_active.reserve(active_.size());
-    for (QueuedJob& j : active_) {
+    // In-place compaction (stable, same order a copy-the-survivors pass
+    // would produce) so a busy queue does not allocate every sub-step.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      QueuedJob& j = active_[i];
       j.remaining -= served_each;
       work_done += served_each;
       if (j.remaining <= 1e-12) {
         latency_pipe_.push_back(LatencyJob{latency_seconds_ + elapsed_at_finish, j.ctx, j.enqueue_seq});
       } else {
-        still_active.push_back(j);
+        if (keep != i) active_[keep] = j;
+        ++keep;
       }
     }
-    active_ = std::move(still_active);
+    active_.resize(keep);
     admit_waiting();
     remaining_dt -= step;
     if (step <= 0.0) break;  // numerical safety
   }
 
-  // 2. Drain the latency pipe.
-  std::vector<LatencyJob> still_delayed;
-  still_delayed.reserve(latency_pipe_.size());
+  // 2. Drain the latency pipe (in place, same compaction argument as above).
   // Sort by seq so completion order is deterministic and FIFO-like.
-  std::sort(latency_pipe_.begin(), latency_pipe_.end(),
-            [](const LatencyJob& a, const LatencyJob& b) { return a.seq < b.seq; });
-  for (LatencyJob& j : latency_pipe_) {
+  if (latency_pipe_.size() > 1) {
+    std::sort(latency_pipe_.begin(), latency_pipe_.end(),
+              [](const LatencyJob& a, const LatencyJob& b) { return a.seq < b.seq; });
+  }
+  std::size_t delayed_keep = 0;
+  for (std::size_t i = 0; i < latency_pipe_.size(); ++i) {
+    LatencyJob& j = latency_pipe_[i];
     j.remaining_delay -= dt;
     if (j.remaining_delay <= 1e-12) {
-      result.completed.push_back(j.ctx);
+      completed.push_back(j.ctx);
       ++completed_jobs_;
     } else {
-      still_delayed.push_back(j);
+      if (delayed_keep != i) latency_pipe_[delayed_keep] = j;
+      ++delayed_keep;
     }
   }
-  latency_pipe_ = std::move(still_delayed);
+  latency_pipe_.resize(delayed_keep);
 
-  result.work_done = work_done;
   const double capacity = total_rate_ * dt;
   last_utilization_ = capacity > 0.0 ? work_done / capacity : 0.0;
   busy_seconds_ += dt - remaining_dt;
   elapsed_seconds_ += dt;
-  return result;
+  return work_done;
 }
 
 }  // namespace gdisim

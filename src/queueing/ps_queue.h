@@ -28,6 +28,22 @@ class PsQueue {
 
   AdvanceResult advance(double dt);
 
+  /// Same, appending completed job contexts to `completed` (cleared first)
+  /// and returning the work done. Hot callers reuse one scratch vector
+  /// across ticks; the idle path stays inline and is identical to the
+  /// general path with no jobs (waiting_ is necessarily empty when active_
+  /// is — jobs only wait while the active set is at the admission cap).
+  double advance(double dt, std::vector<JobCtx>& completed) {
+    completed.clear();
+    if (dt <= 0.0) return 0.0;
+    if (active_.empty() && latency_pipe_.empty()) {
+      last_utilization_ = 0.0;
+      elapsed_seconds_ += dt;
+      return 0.0;
+    }
+    return advance_busy(dt, completed);
+  }
+
   std::size_t active() const { return active_.size(); }
   std::size_t waiting() const { return waiting_.size(); }
   std::size_t in_latency() const { return latency_pipe_.size(); }
@@ -51,6 +67,7 @@ class PsQueue {
   };
 
   void admit_waiting();
+  double advance_busy(double dt, std::vector<JobCtx>& completed);
 
   double total_rate_;
   std::size_t max_concurrent_;

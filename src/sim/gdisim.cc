@@ -15,12 +15,19 @@ GdiSimulator::GdiSimulator(Scenario scenario, SimulatorConfig config)
   loop_cfg.tick_seconds = scenario_.tick_seconds;
   loop_cfg.collect_every =
       std::max<Tick>(1, static_cast<Tick>(config_.collect_every_s / scenario_.tick_seconds));
+  loop_cfg.scheduler = config_.scheduler;
   loop_ = std::make_unique<SimulationLoop>(loop_cfg, *engine_);
 
   scenario_.register_with(*loop_);
 
   collector_ = std::make_unique<Collector>(scenario_.tick_seconds);
   install_standard_probes(*collector_, scenario_);
+  // Scheduler introspection (not a simulation output): mean active-set size
+  // per iteration since the previous sample. Under kDenseSweep this equals
+  // the agent count.
+  SimulationLoop* loop = loop_.get();
+  collector_->add_probe("scheduler/active_agents",
+                        [loop](Tick) { return loop->take_window_active_mean(); });
   Collector* collector = collector_.get();
   loop_->set_collect_callback([collector](Tick now) { collector->collect(now); });
 }

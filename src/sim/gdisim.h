@@ -23,6 +23,9 @@ struct SimulatorConfig {
   /// Worker threads for the H-Dispatch engine; 0 = run phases inline.
   std::size_t threads = 0;
   std::size_t agent_set_size = 64;
+  /// Active-set scheduling by default; kDenseSweep is the A/B oracle
+  /// (DESIGN.md "Scheduler").
+  SchedulerMode scheduler = SchedulerMode::kActiveSet;
 };
 
 class GdiSimulator {

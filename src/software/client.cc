@@ -31,6 +31,7 @@ ClientPopulation::ClientPopulation(ClientPopulationConfig config, const Operatio
       clock_(clock),
       rng_(Rng(config_.seed).split(config_.name)) {
   set_name("clients/" + config_.name);
+  completions_.bind_owner(this);
   if (config_.behavior == ClientBehavior::kSessionScript && config_.session_script.empty()) {
     throw std::invalid_argument("ClientPopulation: session script behavior without a script");
   }
@@ -124,6 +125,7 @@ SeriesLauncher::SeriesLauncher(SeriesLauncherConfig config, const OperationCatal
       clock_(clock),
       rng_(Rng(config_.seed).split(config_.name)) {
   set_name("series/" + config_.name);
+  completions_.bind_owner(this);
   interval_ticks_ = std::max<Tick>(1, clock_.to_ticks(config_.interval_s));
   if (config_.stop_after_s >= 0.0) stop_tick_ = clock_.to_ticks(config_.stop_after_s);
 }

@@ -11,6 +11,7 @@
 // mutated in the launcher's own phases, keeping execution deterministic.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
@@ -109,6 +110,13 @@ class ClientPopulation final : public Agent {
   void on_tick(Tick now) override;
   void on_interactions(Tick now) override;
 
+  /// Sleeps until the next launch-scan boundary; operation completions post
+  /// to the inbox, which wakes the population immediately.
+  Tick next_wake_tick(Tick next_now) const override {
+    if (!completions_.empty()) return next_now;
+    return std::max(next_scan_, next_now);
+  }
+
   void set_owner_sampler(OwnerSampler sampler) { owner_sampler_ = std::move(sampler); }
   void set_launch_recorder(LaunchRecorder recorder) { recorder_ = std::move(recorder); }
 
@@ -178,6 +186,14 @@ class SeriesLauncher final : public Agent {
 
   void on_tick(Tick now) override;
   void on_interactions(Tick now) override;
+
+  /// Sleeps until the next scheduled series entry; parked for good once the
+  /// stop time passes (completions still arrive via inbox wakes).
+  Tick next_wake_tick(Tick next_now) const override {
+    if (!completions_.empty()) return next_now;
+    if (config_.series.empty() || next_launch_ >= stop_tick_) return kNeverTick;
+    return std::max(next_launch_, next_now);
+  }
 
   /// Series currently in flight (the "concurrent clients" of Figure 5-6).
   std::size_t concurrent() const { return runs_.size(); }

@@ -65,14 +65,22 @@ void OperationInstance::start(Tick now) {
 
 void OperationInstance::start_step(Tick now) {
   const Step& step = spec_->steps[step_idx_];
-  branches_.clear();
-  branches_.resize(step.branches.size());
+  // Reset in place instead of clear+resize: each branch's stage vector keeps
+  // its capacity across steps/repeats, so route building stops allocating
+  // after the first pass. Field values match a freshly-constructed
+  // BranchState exactly (including local_seq, which feeds inbox ordering).
+  if (branches_.size() < step.branches.size()) branches_.resize(step.branches.size());
   branches_outstanding_.store(static_cast<unsigned>(step.branches.size()),
                               std::memory_order_relaxed);
   for (std::size_t b = 0; b < step.branches.size(); ++b) {
     BranchState& br = branches_[b];
     br.sequence = &step.branches[b];
     br.msg_idx = 0;
+    br.stages.clear();
+    br.stage_idx = 0;
+    br.local_seq = 0;
+    br.held_memory = nullptr;
+    br.held_bytes = 0.0;
     br.rng = Rng(params_.rng_seed)
                  .split(spec_->name)
                  .split(std::to_string(step_idx_ * 1000 + b));
@@ -85,7 +93,7 @@ void OperationInstance::start_message(std::size_t branch_idx, Tick now) {
   // Loop past messages whose every stage was sub-tick ("instant").
   while (br.msg_idx < br.sequence->messages.size()) {
     const MessageSpec& m = br.sequence->messages[br.msg_idx];
-    br.stages = build_route(m, br);
+    build_route(m, br, now);
     br.stage_idx = 0;
     if (!br.stages.empty()) {
       submit_stage(branch_idx, now);
@@ -144,8 +152,7 @@ void OperationInstance::finish_branch(Tick now) {
   if (done_) done_(*this, now + 1);
 }
 
-std::vector<OperationInstance::Stage> OperationInstance::build_route(const MessageSpec& m,
-                                                                     BranchState& br) {
+void OperationInstance::build_route(const MessageSpec& m, BranchState& br, Tick now) {
   const double size_mb = m.size_mb_override.value_or(params_.size_mb);
   const ResourceVector cost = m.fixed + m.per_mb * size_mb;
   Topology& topo = ctx_->topology();
@@ -158,12 +165,13 @@ std::vector<OperationInstance::Stage> OperationInstance::build_route(const Messa
   const double tick = topo.dc(to.dc).dc_switch().tick_seconds();
   const double instant_below = ctx_->instant_fraction() * tick;
 
-  std::vector<Stage> stages;
-  auto add = [&stages, instant_below](Component* c, double work) {
+  std::vector<Stage>& stages = br.stages;
+  stages.clear();
+  auto add = [&stages, instant_below, now](Component* c, double work) {
     if (c == nullptr || work <= 0.0) return;
     const double rate = c->single_job_rate();
     if (rate > 0.0 && work / rate < instant_below) {
-      c->account_instant(work);
+      c->account_instant(work, now);
       return;
     }
     stages.push_back(Stage{c, work});
@@ -215,8 +223,6 @@ std::vector<OperationInstance::Stage> OperationInstance::build_route(const Messa
         cost.cpu_cycles / cm.cpu_hz + cost.disk_bytes / cm.disk_Bps;
     add(&topo.dc(to.dc).client_station(), delay);
   }
-
-  return stages;
 }
 
 }  // namespace gdisim

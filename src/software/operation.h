@@ -114,8 +114,10 @@ class OperationInstance final : public StageCompletionHandler {
   void finish_message(std::size_t branch_idx, Tick now);
   void finish_branch(Tick now);
 
-  /// Builds the component route for one message (Eq. 3.2-3.5).
-  std::vector<Stage> build_route(const MessageSpec& m, BranchState& branch);
+  /// Builds the component route for one message (Eq. 3.2-3.5) into
+  /// `branch.stages`, reusing its capacity. `now` stamps the sub-tick
+  /// ("instant") work accounted against bypassed components.
+  void build_route(const MessageSpec& m, BranchState& branch, Tick now);
 
   const CascadeSpec* spec_;
   OperationContext* ctx_;

@@ -75,6 +75,7 @@ TraceLauncher::TraceLauncher(const WorkloadTrace& trace, const OperationCatalog&
                              OperationContext& ctx, TickClock clock, std::uint64_t seed)
     : trace_(&trace), catalog_(&catalog), ctx_(&ctx), clock_(clock), seed_(seed) {
   set_name("replay");
+  completions_.bind_owner(this);
 }
 
 void TraceLauncher::on_tick(Tick now) {

@@ -7,6 +7,7 @@
 // topology, directly comparable outputs.
 #pragma once
 
+#include <algorithm>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -75,6 +76,15 @@ class TraceLauncher final : public Agent {
 
   void on_tick(Tick now) override;
   void on_interactions(Tick now) override;
+
+  /// Sleeps until the next trace entry is due; parked once the trace is
+  /// exhausted (completions still arrive via inbox wakes).
+  Tick next_wake_tick(Tick next_now) const override {
+    if (!completions_.empty()) return next_now;
+    const auto& entries = trace_->entries();
+    if (cursor_ >= entries.size()) return kNeverTick;
+    return std::max(next_now, clock_.to_ticks(entries[cursor_].t_seconds));
+  }
 
   std::size_t launched() const { return cursor_; }
   std::size_t in_flight() const { return live_.size(); }

@@ -318,10 +318,12 @@ TEST(CpuComponent, ParallelJobConsumesSameTotalCycles) {
 TEST(Component, InstantAccountingRaisesUtilization) {
   NicComponent nic(NicSpec{1e9});
   nic.set_tick_seconds(0.01);
-  nic.account_instant(5e6);  // 5 Mb of sub-tick work
+  nic.account_instant(5e6, 0);  // 5 Mb of sub-tick work accounted at tick 0
   nic.on_tick(0);
-  EXPECT_NEAR(nic.utilization(), 0.5, 1e-9);  // 5e6 / (1e9 * 0.01)
+  EXPECT_NEAR(nic.utilization(), 0.0, 1e-9);  // folds at the tick after accounting
   nic.on_tick(1);
+  EXPECT_NEAR(nic.utilization(), 0.5, 1e-9);  // 5e6 / (1e9 * 0.01)
+  nic.on_tick(2);
   EXPECT_NEAR(nic.utilization(), 0.0, 1e-9);  // accounted once only
 }
 

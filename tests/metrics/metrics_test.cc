@@ -79,7 +79,7 @@ TEST(Stats, Correlation) {
 TEST(Collector, SamplesProbesOnCollect) {
   Collector c(0.01);
   double value = 1.0;
-  c.add_probe("v", [&value] { return value; });
+  c.add_probe("v", [&value](Tick) { return value; });
   c.collect(100);
   value = 2.0;
   c.collect(200);

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI driver: configure + build + test every preset (release, asan, tsan).
+#
+#   tools/ci.sh                # full matrix
+#   tools/ci.sh release        # one preset
+#   CTEST_ARGS="-R ActiveSet" tools/ci.sh tsan   # filter the test run
+#
+# Sanitizer suites run the full tier-1 ctest set; on small hosts expect the
+# tsan leg to dominate wall time (the determinism/stress tests run the
+# thread pool hard on purpose).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESETS=("$@")
+if [ ${#PRESETS[@]} -eq 0 ]; then
+  PRESETS=(release asan tsan)
+fi
+
+JOBS="${JOBS:-$(nproc)}"
+CTEST_ARGS="${CTEST_ARGS:-}"
+
+for preset in "${PRESETS[@]}"; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "=== [$preset] test ==="
+  # shellcheck disable=SC2086
+  ctest --preset "$preset" -j "$JOBS" $CTEST_ARGS
+done
+
+echo "ci.sh: all presets green (${PRESETS[*]})"

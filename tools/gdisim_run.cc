@@ -10,11 +10,14 @@
 //   --threads N              worker threads (default: cores - 1)
 //   --seed N                 run seed (default 42)
 //   --csv PATH               dump every collector series as CSV
+//   --dense-sweep            disable active-set scheduling (reference oracle)
 //   --quiet                  suppress the summary tables
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "config/loader.h"
 #include "sim/gdisim.h"
@@ -33,6 +36,7 @@ struct CliOptions {
   bool threads_set = false;
   std::uint64_t seed = 42;
   std::string csv_path;
+  bool dense_sweep = false;
   bool quiet = false;
 };
 
@@ -40,7 +44,7 @@ struct CliOptions {
   std::cerr << "usage: " << argv0
             << " [--scenario validation|consolidated|multimaster | --config FILE]\n"
                "       [--experiment N] [--hours H] [--scale S] [--threads N] [--seed N]\n"
-               "       [--csv PATH] [--quiet]\n";
+               "       [--csv PATH] [--dense-sweep] [--quiet]\n";
   std::exit(2);
 }
 
@@ -69,6 +73,8 @@ CliOptions parse(int argc, char** argv) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--csv") {
       opt.csv_path = next();
+    } else if (arg == "--dense-sweep") {
+      opt.dense_sweep = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else {
@@ -172,12 +178,34 @@ int main(int argc, char** argv) {
   SimulatorConfig cfg;
   cfg.threads = opt.threads;
   cfg.collect_every_s = opt.scenario == "validation" ? 6.0 : 30.0;
+  if (opt.dense_sweep) cfg.scheduler = SchedulerMode::kDenseSweep;
   GdiSimulator sim(std::move(scenario), cfg);
 
   const double horizon_s = opt.hours * 3600.0;
   sim.run_for(horizon_s);
   std::cout << "simulated " << format_sim_time(horizon_s) << " of operation ("
             << sim.loop().now() << " ticks, " << sim.loop().agent_count() << " agents)\n";
+  const SchedulerStats& sched = sim.loop().scheduler_stats();
+  std::cout << "scheduler: "
+            << (sim.loop().scheduler_mode() == SchedulerMode::kActiveSet ? "active-set"
+                                                                         : "dense-sweep")
+            << ", mean active agents = " << TableReport::fmt(sched.mean_active())
+            << " (occupancy " << TableReport::fmt(100.0 * sched.occupancy()) << "%)\n";
+  if (!opt.quiet && sim.loop().scheduler_mode() == SchedulerMode::kActiveSet) {
+    std::vector<AgentId> order(sched.per_agent_runs.size());
+    for (AgentId i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&sched](AgentId a, AgentId b) {
+      return sched.per_agent_runs[a] > sched.per_agent_runs[b];
+    });
+    std::cout << "most-active agents (share of iterations):\n";
+    for (std::size_t i = 0; i < order.size() && i < 12; ++i) {
+      const AgentId id = order[i];
+      std::cout << "  " << sim.loop().agent(id)->name() << "  "
+                << TableReport::pct(static_cast<double>(sched.per_agent_runs[id]) /
+                                    static_cast<double>(sched.iterations))
+                << "\n";
+    }
+  }
 
   if (!opt.quiet) print_summary(sim, horizon_s);
 
