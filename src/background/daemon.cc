@@ -25,7 +25,8 @@ void BackgroundDaemon::launch_run(std::unique_ptr<CascadeSpec> spec, BackgroundR
                           CompletionMsg{&inst, end_tick});
       });
   OperationInstance* raw = instance.get();
-  live_.emplace(raw, LiveRun{std::move(spec), std::move(instance), std::move(record)});
+  live_.emplace(params.instance_serial,
+                LiveRun{std::move(spec), std::move(instance), std::move(record)});
   raw->start(now);
 }
 
@@ -33,7 +34,7 @@ std::size_t BackgroundDaemon::drain_completions(Tick now) {
   std::size_t n = 0;
   for (auto& d : completions_.drain_visible(now)) {
     const CompletionMsg& msg = d.payload;
-    auto it = live_.find(msg.instance);
+    auto it = live_.find(msg.instance->params().instance_serial);
     if (it == live_.end()) continue;
     BackgroundRunRecord record = std::move(it->second.record);
     record.duration_s = msg.instance->duration_seconds(clock_, msg.end_tick);

@@ -66,7 +66,8 @@ class BackgroundDaemon : public Agent {
   OperationContext* ctx_;
   TickClock clock_;
   Rng rng_;
-  std::unordered_map<OperationInstance*, LiveRun> live_;
+  /// In-flight runs keyed by instance serial (stable id, never an address).
+  std::unordered_map<std::uint64_t, LiveRun> live_;
   Inbox<CompletionMsg> completions_;
   std::uint64_t next_serial_ = 0;
   FreshnessLedger ledger_;

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/audit.h"
 #include "core/types.h"
 
 namespace gdisim {
@@ -113,12 +114,29 @@ class Agent {
   /// Monotonic per-agent sequence for deterministic delivery ordering.
   std::uint64_t next_send_seq() { return send_seq_++; }
 
+#if GDISIM_AUDIT_ENABLED
+  /// Audit hook (GDISIM_AUDIT_AGENT_TICK): the time-increment signal must
+  /// arrive with strictly increasing `now` — an agent ticked twice at the
+  /// same tick, or backwards, means the scheduler double-admitted it.
+  void audit_tick_signal(Tick now) {
+    if (audit_ticked_ && now <= audit_last_tick_) {
+      audit::fail("agent clock not monotonic: tick signal repeated or reversed");
+    }
+    audit_last_tick_ = now;
+    audit_ticked_ = true;
+  }
+#endif
+
  private:
   std::string name_;
   AgentId id_ = kInvalidAgent;
   AgentWakeScheduler* wake_scheduler_ = nullptr;
   const std::atomic<bool>* wake_hint_ = nullptr;
   std::uint64_t send_seq_ = 0;
+#if GDISIM_AUDIT_ENABLED
+  Tick audit_last_tick_ = 0;
+  bool audit_ticked_ = false;
+#endif
 };
 
 /// A timestamped delivery from one agent to another.
@@ -186,6 +204,8 @@ class Inbox {
     if (!ready.empty()) {
       approx_size_.fetch_sub(static_cast<std::int64_t>(ready.size()),
                              std::memory_order_release);
+      GDISIM_AUDIT_CHECK(approx_size_.load(std::memory_order_relaxed) >= 0,
+                         "inbox occupancy underflow: drained more than was posted");
     }
     if (ready.size() > 1) {
       std::sort(ready.begin(), ready.end(), [](const Delivery<T>& a, const Delivery<T>& b) {
@@ -194,6 +214,27 @@ class Inbox {
         return a.seq < b.seq;
       });
     }
+#if GDISIM_AUDIT_ENABLED
+    // Drain-order hash: FNV-fold this drain (owner, tick, sorted delivery
+    // keys), then xor it into the global accumulator. Identical workloads
+    // must produce identical drain multisets whatever the engine or thread
+    // count, and xor makes the fold order irrelevant.
+    if (!ready.empty()) {
+      std::uint64_t h = 0xcbf29ce484222325ULL;
+      const auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ULL;
+      };
+      mix(owner_ != nullptr ? owner_->id() : kInvalidAgent);
+      mix(static_cast<std::uint64_t>(now));
+      for (const Delivery<T>& d : ready) {
+        mix(static_cast<std::uint64_t>(d.visible_at));
+        mix(d.sender);
+        mix(d.seq);
+      }
+      GDISIM_AUDIT_FOLD_DRAIN(h);
+    }
+#endif
   }
 
   /// Convenience wrapper returning a fresh vector; prefer drain_visible_into

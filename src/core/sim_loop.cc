@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/audit.h"
+
 namespace gdisim {
 
 AgentId SimulationLoop::add_agent(Agent* agent) {
@@ -109,7 +111,10 @@ void SimulationLoop::step_dense(Tick now) {
   const std::size_t n = agents_.size();
 
   // 1. Time increment control signals.
-  run_phase(n, [this, now](std::size_t i) { agents_[i]->on_tick(now); });
+  run_phase(n, [this, now](std::size_t i) {
+    GDISIM_AUDIT_AGENT_TICK(agents_[i], now);
+    agents_[i]->on_tick(now);
+  });
 
   // 2. Agent interaction step: absorb everything that became visible during
   //    this tick (visible_at <= now + 1).
@@ -139,7 +144,10 @@ void SimulationLoop::step_active(Tick now) {
 
   // 1. Time increment control signals for the active set.
   const std::size_t n_tick = active_.size();
-  run_phase(n_tick, [this, now](std::size_t i) { agents_[active_[i]]->on_tick(now); });
+  run_phase(n_tick, [this, now](std::size_t i) {
+    GDISIM_AUDIT_AGENT_TICK(agents_[active_[i]], now);
+    agents_[active_[i]]->on_tick(now);
+  });
 
   // Deliveries posted during the tick phase carry visible_at == now + 1 and
   // must be absorbed in *this* iteration's interaction phase (consistency

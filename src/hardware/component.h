@@ -117,6 +117,7 @@ class Component : public Agent {
   /// which makes utilization attribution deterministic under any thread
   /// schedule and identical between scheduler modes.
   void account_instant(double work, Tick now) {
+    GDISIM_AUDIT_NONNEG(work, "Component: negative instant work accounted");
     instant_buckets_[static_cast<std::size_t>(now + 1) & 1].fetch_add(
         work, std::memory_order_relaxed);
     request_wake();

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "core/audit.h"
 #include "core/rng.h"
 
 namespace gdisim {
@@ -36,10 +37,18 @@ class MemoryComponent {
   }
 
   void allocate(double bytes) {
+    GDISIM_AUDIT_NONNEG(bytes, "MemoryComponent: negative allocation");
     occupied_milli_.fetch_add(to_milli(bytes), std::memory_order_relaxed);
   }
   void release(double bytes) {
+    GDISIM_AUDIT_NONNEG(bytes, "MemoryComponent: negative release");
+#if GDISIM_AUDIT_ENABLED
+    const std::int64_t before = occupied_milli_.fetch_sub(to_milli(bytes), std::memory_order_relaxed);
+    GDISIM_AUDIT_CHECK(before - to_milli(bytes) >= 0,
+                       "MemoryComponent: occupancy underflow (released more than allocated)");
+#else
     occupied_milli_.fetch_sub(to_milli(bytes), std::memory_order_relaxed);
+#endif
   }
 
   /// Workload-driven occupancy only (the model of §3.4.2).

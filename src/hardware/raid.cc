@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/audit.h"
+
 namespace gdisim {
 
 RaidComponent::RaidComponent(const RaidSpec& spec, Rng rng)
@@ -15,33 +17,32 @@ RaidComponent::RaidComponent(const RaidSpec& spec, Rng rng)
   }
 }
 
-RaidComponent::~RaidComponent() {
-  for (RaidJob* job : live_jobs_) delete job;
-}
-
 void RaidComponent::accept(StageJob job) {
-  auto* rj = new RaidJob{job, 0};
-  live_jobs_.insert(rj);
+  GDISIM_AUDIT_NONNEG(job.work, "RaidComponent: negative work accepted");
+  GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kRaidJob);
+  RaidJob* rj = jobs_.create(RaidJob{job, 0});
   dacc_.enqueue(job.work, rj);
 }
 
 void RaidComponent::complete(RaidJob* job, Tick now) {
   job->stage.handler->on_stage_complete(*this, now, job->stage.tag);
-  live_jobs_.erase(job);
-  delete job;
+  GDISIM_AUDIT_JOB_COMPLETED(audit::Category::kRaidJob);
+  jobs_.destroy(job);
 }
 
 void RaidComponent::fork(RaidJob* job) {
   job->outstanding = spec_.disks;
   const double share = job->stage.work / static_cast<double>(spec_.disks);
   for (unsigned i = 0; i < spec_.disks; ++i) {
-    dcc_[i].enqueue(share, new BranchJob{job});
+    dcc_[i].enqueue(share, branch_jobs_.create(BranchJob{job}));
   }
 }
 
 void RaidComponent::finish_branch(BranchJob* branch, Tick now) {
   RaidJob* parent = branch->parent;
-  delete branch;
+  branch_jobs_.destroy(branch);
+  GDISIM_AUDIT_CHECK(parent->outstanding > 0,
+                     "RaidComponent: branch completion with no outstanding branches");
   if (--parent->outstanding == 0) complete(parent, now);
 }
 
@@ -58,8 +59,6 @@ void RaidComponent::advance_tick(Tick now, double dt) {
 
   // 2. Per-disk controller caches.
   for (unsigned i = 0; i < spec_.disks; ++i) {
-    const double share_rate = 1.0;  // share already computed at fork time
-    (void)share_rate;
     for (JobCtx ctx : dcc_[i].advance(dt).completed) {
       auto* branch = static_cast<BranchJob*>(ctx);
       if (rng_.next_double() < spec_.dcc_hit_rate) {
@@ -85,7 +84,7 @@ void RaidComponent::advance_tick(Tick now, double dt) {
 }
 
 std::size_t RaidComponent::queue_length() const {
-  return live_jobs_.size();
+  return jobs_.live();
 }
 
 }  // namespace gdisim

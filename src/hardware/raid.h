@@ -7,12 +7,12 @@
 // bytes; rates are bytes/second.
 #pragma once
 
-#include <unordered_set>
 #include <vector>
 
 #include "core/rng.h"
 #include "hardware/component.h"
 #include "queueing/fcfs_queue.h"
+#include "queueing/job.h"
 
 namespace gdisim {
 
@@ -28,7 +28,6 @@ struct RaidSpec {
 class RaidComponent final : public Component {
  public:
   RaidComponent(const RaidSpec& spec, Rng rng);
-  ~RaidComponent() override;
 
   RaidComponent(const RaidComponent&) = delete;
   RaidComponent& operator=(const RaidComponent&) = delete;
@@ -64,7 +63,11 @@ class RaidComponent final : public Component {
   FcfsMultiServerQueue dacc_;
   std::vector<FcfsMultiServerQueue> dcc_;
   std::vector<FcfsMultiServerQueue> hdd_;
-  std::unordered_set<RaidJob*> live_jobs_;
+  /// Own every job/branch context; in-flight contexts (including branch jobs
+  /// still queued in dcc_/hdd_) are reclaimed by the pools on destruction,
+  /// so no pointer-keyed live set is needed.
+  JobPool<RaidJob> jobs_;
+  JobPool<BranchJob> branch_jobs_;
   double last_disk_utilization_ = 0.0;
 };
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/audit.h"
+
 namespace gdisim {
 
 SanComponent::SanComponent(const SanSpec& spec, Rng rng)
@@ -19,25 +21,24 @@ SanComponent::SanComponent(const SanSpec& spec, Rng rng)
   }
 }
 
-SanComponent::~SanComponent() {
-  for (SanJob* job : live_jobs_) delete job;
-}
-
 void SanComponent::accept(StageJob job) {
-  auto* sj = new SanJob{job, 0};
-  live_jobs_.insert(sj);
+  GDISIM_AUDIT_NONNEG(job.work, "SanComponent: negative work accepted");
+  GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kSanJob);
+  SanJob* sj = jobs_.create(SanJob{job, 0});
   fcsw_.enqueue(job.work, sj);
 }
 
 void SanComponent::complete(SanJob* job, Tick now) {
   job->stage.handler->on_stage_complete(*this, now, job->stage.tag);
-  live_jobs_.erase(job);
-  delete job;
+  GDISIM_AUDIT_JOB_COMPLETED(audit::Category::kSanJob);
+  jobs_.destroy(job);
 }
 
 void SanComponent::finish_branch(BranchJob* branch, Tick now) {
   SanJob* parent = branch->parent;
-  delete branch;
+  branch_jobs_.destroy(branch);
+  GDISIM_AUDIT_CHECK(parent->outstanding > 0,
+                     "SanComponent: branch completion with no outstanding branches");
   if (--parent->outstanding == 0) complete(parent, now);
 }
 
@@ -63,7 +64,9 @@ void SanComponent::advance_tick(Tick now, double dt) {
     auto* job = static_cast<SanJob*>(ctx);
     job->outstanding = spec_.disks;
     const double share = job->stage.work / static_cast<double>(spec_.disks);
-    for (unsigned i = 0; i < spec_.disks; ++i) dcc_[i].enqueue(share, new BranchJob{job});
+    for (unsigned i = 0; i < spec_.disks; ++i) {
+      dcc_[i].enqueue(share, branch_jobs_.create(BranchJob{job}));
+    }
   }
 
   // 4. Per-disk controller caches.
@@ -92,7 +95,7 @@ void SanComponent::advance_tick(Tick now, double dt) {
 }
 
 std::size_t SanComponent::queue_length() const {
-  return live_jobs_.size();
+  return jobs_.live();
 }
 
 }  // namespace gdisim

@@ -7,12 +7,12 @@
 // data center, so unlike a RAID it typically serves many servers at once.
 #pragma once
 
-#include <unordered_set>
 #include <vector>
 
 #include "core/rng.h"
 #include "hardware/component.h"
 #include "queueing/fcfs_queue.h"
+#include "queueing/job.h"
 
 namespace gdisim {
 
@@ -30,7 +30,6 @@ struct SanSpec {
 class SanComponent final : public Component {
  public:
   SanComponent(const SanSpec& spec, Rng rng);
-  ~SanComponent() override;
 
   SanComponent(const SanComponent&) = delete;
   SanComponent& operator=(const SanComponent&) = delete;
@@ -65,7 +64,10 @@ class SanComponent final : public Component {
   FcfsMultiServerQueue fcal_;
   std::vector<FcfsMultiServerQueue> dcc_;
   std::vector<FcfsMultiServerQueue> hdd_;
-  std::unordered_set<SanJob*> live_jobs_;
+  /// Own every job/branch context; in-flight contexts are reclaimed by the
+  /// pools on destruction, so no pointer-keyed live set is needed.
+  JobPool<SanJob> jobs_;
+  JobPool<BranchJob> branch_jobs_;
   double last_disk_utilization_ = 0.0;
 };
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/audit.h"
+
 namespace gdisim {
 
 FcfsMultiServerQueue::FcfsMultiServerQueue(unsigned servers, double rate_per_server)
@@ -12,6 +14,8 @@ FcfsMultiServerQueue::FcfsMultiServerQueue(unsigned servers, double rate_per_ser
 }
 
 void FcfsMultiServerQueue::enqueue(double work, JobCtx ctx) {
+  GDISIM_AUDIT_NONNEG(work, "FcfsMultiServerQueue: negative work enqueued");
+  GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kFcfsJob);
   QueuedJob job{work, ctx, seq_++};
   if (in_service_.size() < servers_) {
     in_service_.push_back(job);
@@ -44,6 +48,7 @@ double FcfsMultiServerQueue::advance_busy(double dt, std::vector<JobCtx>& comple
       if (job.remaining <= 0.0) {
         completed.push_back(job.ctx);
         ++completed_jobs_;
+        GDISIM_AUDIT_JOB_COMPLETED(audit::Category::kFcfsJob);
         if (!waiting_.empty()) {
           in_service_[slot] = waiting_.front();
           waiting_.pop_front();

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/audit.h"
+
 namespace gdisim {
 
 ForkJoinQueue::ForkJoinQueue(unsigned branches, double rate_per_branch) {
@@ -10,13 +12,10 @@ ForkJoinQueue::ForkJoinQueue(unsigned branches, double rate_per_branch) {
   for (unsigned i = 0; i < branches; ++i) branches_.emplace_back(1, rate_per_branch);
 }
 
-ForkJoinQueue::~ForkJoinQueue() {
-  for (JoinState* join : live_joins_) delete join;
-}
-
 void ForkJoinQueue::enqueue(double work, JobCtx ctx) {
-  auto* join = new JoinState{branches(), ctx};
-  live_joins_.insert(join);
+  GDISIM_AUDIT_NONNEG(work, "ForkJoinQueue: negative work enqueued");
+  GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kForkJoinJob);
+  JoinState* join = joins_.create(JoinState{branches(), ctx});
   const double share = work / static_cast<double>(branches());
   for (auto& branch : branches_) branch.enqueue(share, join);
 }
@@ -29,11 +28,13 @@ AdvanceResult ForkJoinQueue::advance(double dt) {
     util_sum += branch.last_utilization();
     for (JobCtx jc : r.completed) {
       auto* join = static_cast<JoinState*>(jc);
+      GDISIM_AUDIT_CHECK(join->outstanding > 0,
+                         "ForkJoinQueue: branch completion with no outstanding shares");
       if (--join->outstanding == 0) {
         result.completed.push_back(join->ctx);
         ++completed_jobs_;
-        live_joins_.erase(join);
-        delete join;
+        GDISIM_AUDIT_JOB_COMPLETED(audit::Category::kForkJoinJob);
+        joins_.destroy(join);
       }
     }
     result.work_done += r.work_done;
@@ -43,7 +44,7 @@ AdvanceResult ForkJoinQueue::advance(double dt) {
 }
 
 std::size_t ForkJoinQueue::total_jobs() const {
-  return live_joins_.size();
+  return joins_.live();
 }
 
 }  // namespace gdisim

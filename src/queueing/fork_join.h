@@ -5,7 +5,6 @@
 #pragma once
 
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "queueing/fcfs_queue.h"
@@ -18,7 +17,6 @@ class ForkJoinQueue {
   /// `branches` parallel branches (disks), each a single-server FCFS queue
   /// serving `rate_per_branch` work units per second.
   ForkJoinQueue(unsigned branches, double rate_per_branch);
-  ~ForkJoinQueue();
 
   ForkJoinQueue(const ForkJoinQueue&) = delete;
   ForkJoinQueue& operator=(const ForkJoinQueue&) = delete;
@@ -43,7 +41,9 @@ class ForkJoinQueue {
   };
 
   std::vector<FcfsMultiServerQueue> branches_;
-  std::unordered_set<JoinState*> live_joins_;
+  /// Owns every join context; in-flight joins are reclaimed by the pool on
+  /// destruction, so no pointer-keyed live set is needed.
+  JobPool<JoinState> joins_;
   double last_utilization_ = 0.0;
   std::uint64_t completed_jobs_ = 0;
 };

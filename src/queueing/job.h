@@ -22,10 +22,16 @@ using JobCtx = void*;
 /// finishes — at millions of jobs per run that malloc/free pair dominates the
 /// accept/complete path. The pool hands back freed slots instead. Not
 /// thread-safe: each component touches its own pool only from its own phases.
+///
+/// The pool also replaces the pointer-keyed live-job sets the components used
+/// to carry for teardown: it owns every slot (in-flight contexts are freed by
+/// the pool destructor in allocation order, never by iterating an
+/// address-ordered container), and live() counts the in-flight contexts.
 template <typename T>
 class JobPool {
  public:
   T* create(const T& value) {
+    ++live_;
     if (!free_.empty()) {
       T* slot = free_.back();
       free_.pop_back();
@@ -35,11 +41,18 @@ class JobPool {
     slots_.push_back(std::make_unique<T>(value));
     return slots_.back().get();
   }
-  void destroy(T* slot) { free_.push_back(slot); }
+  void destroy(T* slot) {
+    --live_;
+    free_.push_back(slot);
+  }
+
+  /// Contexts created and not yet destroyed.
+  std::size_t live() const { return live_; }
 
  private:
   std::vector<std::unique_ptr<T>> slots_;
   std::vector<T*> free_;
+  std::size_t live_ = 0;
 };
 
 struct QueuedJob {

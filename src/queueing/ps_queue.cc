@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/audit.h"
+
 namespace gdisim {
 
 PsQueue::PsQueue(double total_rate, std::size_t max_concurrent, double latency_seconds)
@@ -16,6 +18,8 @@ PsQueue::PsQueue(double total_rate, std::size_t max_concurrent, double latency_s
 }
 
 void PsQueue::enqueue(double work, JobCtx ctx) {
+  GDISIM_AUDIT_NONNEG(work, "PsQueue: negative work enqueued");
+  GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kPsJob);
   QueuedJob job{work, ctx, seq_++};
   if (work <= 0.0) {
     // Pure-latency job (e.g. zero-byte control message): skip service.
@@ -93,6 +97,7 @@ double PsQueue::advance_busy(double dt, std::vector<JobCtx>& completed) {
     if (j.remaining_delay <= 1e-12) {
       completed.push_back(j.ctx);
       ++completed_jobs_;
+      GDISIM_AUDIT_JOB_COMPLETED(audit::Category::kPsJob);
     } else {
       if (delayed_keep != i) latency_pipe_[delayed_keep] = j;
       ++delayed_keep;

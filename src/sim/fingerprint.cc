@@ -1,0 +1,106 @@
+#include "sim/fingerprint.h"
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/gdisim.h"
+
+namespace gdisim {
+namespace {
+
+constexpr std::uint64_t kOffset = 1469598103934665603ull;
+constexpr std::uint64_t kPrime = 1099511628211ull;
+
+struct Fnv {
+  std::uint64_t h = kOffset;
+
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= kPrime;
+    }
+  }
+  void mix(double d) { mix(std::bit_cast<std::uint64_t>(d)); }
+  void mix(std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= kPrime;
+    }
+    mix(static_cast<std::uint64_t>(s.size()));
+  }
+  void mix(const OpStats& s) {
+    mix(s.count);
+    mix(s.total_s);
+    mix(s.min_s);
+    mix(s.max_s);
+    mix(s.sum_sq);
+  }
+  void mix(const FreshnessLedger& ledger) {
+    mix(static_cast<std::uint64_t>(ledger.runs().size()));
+    for (const BackgroundRunRecord& r : ledger.runs()) {
+      mix(r.launch_hour);
+      mix(r.duration_s);
+      mix(r.cover_from_hour);
+      mix(r.cover_to_hour);
+      mix(r.total_mb);
+      for (const auto& [dc, mb] : r.pull_mb) {
+        mix(static_cast<std::uint64_t>(dc));
+        mix(mb);
+      }
+      for (const auto& [dc, mb] : r.push_mb) {
+        mix(static_cast<std::uint64_t>(dc));
+        mix(mb);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t result_fingerprint(GdiSimulator& sim) {
+  Fnv f;
+  Scenario& sc = sim.scenario();
+
+  for (const auto& p : sc.populations) {
+    f.mix(std::string_view(p->config().name));
+    for (const auto& [op, stats] : p->stats()) {
+      f.mix(std::string_view(op));
+      f.mix(stats);
+    }
+  }
+  for (const auto& l : sc.launchers) {
+    f.mix(std::string_view(l->name()));
+    for (const auto& [op, stats] : l->stats()) {
+      f.mix(std::string_view(op));
+      f.mix(stats);
+    }
+  }
+  for (const auto& sr : sc.synchreps) {
+    f.mix(std::string_view(sr->name()));
+    f.mix(sr->ledger());
+  }
+  for (const auto& ib : sc.indexbuilds) {
+    f.mix(std::string_view(ib->name()));
+    f.mix(ib->ledger());
+  }
+
+  const Collector& col = sim.collector();
+  for (std::size_t i = 0; i < col.probe_count(); ++i) {
+    const TimeSeries& s = col.series(i);
+    // Scheduler telemetry (active-agent counts etc.) legitimately differs
+    // between active-set and dense-sweep modes; the fingerprint covers the
+    // *simulation results*, which must not.
+    if (s.label().rfind("scheduler/", 0) == 0) continue;
+    f.mix(static_cast<std::uint64_t>(s.size()));
+    for (const auto& sample : s.samples()) {
+      f.mix(sample.t_seconds);
+      f.mix(sample.value);
+    }
+  }
+
+  f.mix(static_cast<std::uint64_t>(sim.loop().now()));
+  return f.h;
+}
+
+}  // namespace gdisim

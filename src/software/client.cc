@@ -88,7 +88,7 @@ void ClientPopulation::launch(std::size_t slot_idx, Tick now) {
                           CompletionMsg{&inst, slot_idx, end_tick});
       });
   OperationInstance* raw = instance.get();
-  live_.emplace(raw, std::move(instance));
+  live_.emplace(params.instance_serial, std::move(instance));
   slots_[slot_idx].busy = true;
   ++active_;
   if (recorder_) recorder_(clock_.to_seconds(now), op_name, config_.dc, owner, size_mb);
@@ -113,7 +113,7 @@ void ClientPopulation::on_interactions(Tick now) {
                              : rng_.next_exponential(config_.think_time_mean_s);
     slot.ready_at = msg.end_tick + clock_.to_ticks(think);
     --active_;
-    live_.erase(msg.instance);
+    live_.erase(msg.instance->params().instance_serial);
   }
 }
 
@@ -155,8 +155,7 @@ void SeriesLauncher::launch_op(OperationInstance* /*prev*/, Run run, Tick now) {
                           CompletionMsg{&inst, end_tick});
       });
   OperationInstance* raw = instance.get();
-  live_.emplace(raw, std::move(instance));
-  runs_.emplace(raw, run);
+  live_.emplace(params.instance_serial, LiveOp{std::move(instance), run});
   raw->start(now);
 }
 
@@ -166,9 +165,8 @@ void SeriesLauncher::on_interactions(Tick now) {
     const double duration = msg.instance->duration_seconds(clock_, msg.end_tick);
     stats_[msg.instance->op_name()].record(duration);
 
-    Run run = runs_.at(msg.instance);
-    runs_.erase(msg.instance);
-    live_.erase(msg.instance);
+    Run run = live_.at(msg.instance->params().instance_serial).run;
+    live_.erase(msg.instance->params().instance_serial);
 
     run.next_op += 1;
     if (run.next_op < config_.series.size()) {

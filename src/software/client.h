@@ -154,7 +154,9 @@ class ClientPopulation final : public Agent {
   std::vector<Slot> slots_;
   Tick scan_every_ = 1;
   Tick next_scan_ = 0;
-  std::unordered_map<OperationInstance*, std::unique_ptr<OperationInstance>> live_;
+  /// In-flight operations keyed by instance serial — a stable id, never an
+  /// address, so no container state depends on allocation order.
+  std::unordered_map<std::uint64_t, std::unique_ptr<OperationInstance>> live_;
   Inbox<CompletionMsg> completions_;
   std::uint64_t next_serial_ = 0;
   std::size_t logged_in_ = 0;
@@ -196,13 +198,17 @@ class SeriesLauncher final : public Agent {
   }
 
   /// Series currently in flight (the "concurrent clients" of Figure 5-6).
-  std::size_t concurrent() const { return runs_.size(); }
+  std::size_t concurrent() const { return live_.size(); }
   std::uint64_t series_completed() const { return series_completed_; }
   const std::map<std::string, OpStats>& stats() const { return stats_; }
 
  private:
   struct Run {
     std::size_t next_op = 0;
+  };
+  struct LiveOp {
+    std::unique_ptr<OperationInstance> instance;
+    Run run;
   };
   struct CompletionMsg {
     OperationInstance* instance;
@@ -219,8 +225,8 @@ class SeriesLauncher final : public Agent {
   Tick next_launch_ = 0;
   Tick interval_ticks_ = 1;
   Tick stop_tick_ = kNeverTick;
-  std::unordered_map<OperationInstance*, std::unique_ptr<OperationInstance>> live_;
-  std::unordered_map<OperationInstance*, Run> runs_;
+  /// In-flight series keyed by instance serial (stable id, never an address).
+  std::unordered_map<std::uint64_t, LiveOp> live_;
   Inbox<CompletionMsg> completions_;
   std::uint64_t next_serial_ = 0;
   std::uint64_t series_completed_ = 0;

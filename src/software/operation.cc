@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/audit.h"
+
 namespace gdisim {
 
 namespace {
@@ -57,6 +59,7 @@ OperationInstance::OperationInstance(const CascadeSpec& spec, OperationContext& 
 }
 
 void OperationInstance::start(Tick now) {
+  GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kOperation);
   start_tick_ = now;
   step_idx_ = 0;
   repeats_left_ = spec_->steps[0].repeat;
@@ -149,6 +152,7 @@ void OperationInstance::finish_branch(Tick now) {
     start_step(now);
     return;
   }
+  GDISIM_AUDIT_JOB_COMPLETED(audit::Category::kOperation);
   if (done_) done_(*this, now + 1);
 }
 

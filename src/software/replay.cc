@@ -98,7 +98,7 @@ void TraceLauncher::on_tick(Tick now) {
                             CompletionMsg{&inst, end_tick});
         });
     OperationInstance* raw = instance.get();
-    live_.emplace(raw, std::move(instance));
+    live_.emplace(params.instance_serial, std::move(instance));
     raw->start(now);
     ++cursor_;
   }
@@ -109,7 +109,7 @@ void TraceLauncher::on_interactions(Tick now) {
     const CompletionMsg& msg = d.payload;
     stats_[msg.instance->op_name()].record(msg.instance->duration_seconds(clock_, msg.end_tick));
     ++completed_;
-    live_.erase(msg.instance);
+    live_.erase(msg.instance->params().instance_serial);
   }
 }
 

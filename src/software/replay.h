@@ -103,7 +103,9 @@ class TraceLauncher final : public Agent {
   TickClock clock_;
   std::uint64_t seed_;
   std::size_t cursor_ = 0;
-  std::unordered_map<OperationInstance*, std::unique_ptr<OperationInstance>> live_;
+  /// In-flight operations keyed by instance serial (stable id, never an
+  /// address).
+  std::unordered_map<std::uint64_t, std::unique_ptr<OperationInstance>> live_;
   Inbox<CompletionMsg> completions_;
   std::uint64_t completed_ = 0;
   std::map<std::string, OpStats> stats_;

@@ -58,8 +58,8 @@ TEST_P(EngineTest, ManySmallPhases) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, EngineTest, ::testing::Values(0, 1, 2, 3),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           switch (info.param) {
+                         [](const ::testing::TestParamInfo<int>& tpi) {
+                           switch (tpi.param) {
                              case 0: return std::string("serial");
                              case 1: return std::string("scatter_gather");
                              case 2: return std::string("h_dispatch");

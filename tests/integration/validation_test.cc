@@ -67,8 +67,8 @@ INSTANTIATE_TEST_SUITE_P(
                       DurationCase{"CAD.SELECT", 5.7, 6.2, 5.34},
                       DurationCase{"CAD.OPEN", 30.67, 64.68, 96.48},
                       DurationCase{"CAD.SAVE", 36.8, 78.21, 113.01}),
-    [](const ::testing::TestParamInfo<DurationCase>& info) {
-      std::string n = info.param.op;
+    [](const ::testing::TestParamInfo<DurationCase>& tpi) {
+      std::string n = tpi.param.op;
       for (char& ch : n) {
         if (ch == '.' || ch == '-') ch = '_';
       }

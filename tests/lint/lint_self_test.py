@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint/gdisim_lint.py, run under ctest.
+
+Pins three behaviours so the linter cannot silently rot:
+  1. every known-bad construct in fixtures/bad.cc is flagged (exact
+     line/rule set — a weakened regex shows up as a missing pair),
+  2. NOLINT / NOLINTNEXTLINE suppressions are honoured and suppressed
+     findings still appear in the JSON report,
+  3. the JSON schema (top-level keys and per-finding keys) is stable, and
+     the clean fixture plus the real src/ tree produce zero active findings.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+ROOT = os.environ.get("GDISIM_SOURCE_DIR") or os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", ".."))
+LINT = os.path.join(ROOT, "tools", "lint", "gdisim_lint.py")
+FIXTURES = os.path.join(ROOT, "tools", "lint", "fixtures")
+
+EXPECTED_BAD = {
+    (15, "gdisim-ptr-key-decl"),
+    (16, "gdisim-ptr-key-decl"),
+    (17, "gdisim-ptr-key-iter"),
+    (21, "gdisim-ptr-key-iter"),
+    (27, "gdisim-addr-ordered"),
+    (28, "gdisim-addr-ordered"),
+    (34, "gdisim-raw-rand"),
+    (35, "gdisim-raw-rand"),
+    (36, "gdisim-raw-rand"),
+    (40, "gdisim-wall-clock"),
+    (45, "gdisim-getenv"),
+}
+
+TOP_KEYS = {"version", "backend", "scanned_files", "counts", "findings"}
+FINDING_KEYS = {"file", "line", "rule", "message", "snippet", "suppressed"}
+
+failures = []
+
+
+def check(cond, what):
+    if not cond:
+        failures.append(what)
+        print("FAIL:", what)
+    else:
+        print("ok:", what)
+
+
+def run_lint(*args):
+    proc = subprocess.run(
+        [sys.executable, LINT, *args, "--root", ROOT, "--json", "-"],
+        capture_output=True, text=True)
+    out = proc.stdout
+    payload = out[out.index("{"):out.rindex("}") + 1]
+    return proc.returncode, json.loads(payload)
+
+
+# 1. Known-bad snippets are all flagged, and nothing else.
+rc, report = run_lint(os.path.join(FIXTURES, "bad.cc"))
+got = {(f["line"], f["rule"]) for f in report["findings"]}
+check(rc == 1, "bad.cc exits 1")
+check(got == EXPECTED_BAD,
+      "bad.cc findings match expected set (missing: %s, extra: %s)"
+      % (sorted(EXPECTED_BAD - got), sorted(got - EXPECTED_BAD)))
+check(all(not f["suppressed"] for f in report["findings"]),
+      "bad.cc findings are all active")
+
+# 2. Suppressions respected; suppressed findings still surface in JSON.
+rc, report = run_lint(os.path.join(FIXTURES, "suppressed.cc"))
+check(rc == 0, "suppressed.cc exits 0")
+check(report["counts"]["active"] == 0, "suppressed.cc has no active findings")
+check(report["counts"]["suppressed"] == 4,
+      "suppressed.cc reports 4 suppressed findings (got %d)"
+      % report["counts"]["suppressed"])
+check(all(f["suppressed"] for f in report["findings"]),
+      "suppressed.cc findings all marked suppressed")
+
+# 3. Schema stability + clean fixture + the real tree.
+check(set(report.keys()) == TOP_KEYS, "JSON top-level keys stable")
+check(all(set(f.keys()) == FINDING_KEYS for f in report["findings"]),
+      "JSON per-finding keys stable")
+
+rc, report = run_lint(os.path.join(FIXTURES, "clean.cc"))
+check(rc == 0 and not report["findings"], "clean.cc produces no findings")
+
+rc, report = run_lint("src")
+check(rc == 0, "src/ scan exits 0 (no active findings)")
+check(report["counts"]["active"] == 0, "src/ has zero active findings")
+check(report["scanned_files"] > 50, "src/ scan saw a realistic file count")
+
+if failures:
+    print("\n%d check(s) failed" % len(failures))
+    sys.exit(1)
+print("\nall checks passed")

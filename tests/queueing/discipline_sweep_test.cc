@@ -63,8 +63,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(FcfsCase{1, 1.0, 0.01}, FcfsCase{1, 1e9, 0.05}, FcfsCase{4, 100.0, 0.001},
                       FcfsCase{8, 2.5e9, 0.05}, FcfsCase{16, 10.0, 0.1},
                       FcfsCase{3, 7.5, 0.02}),
-    [](const ::testing::TestParamInfo<FcfsCase>& info) {
-      return "c" + std::to_string(info.param.servers) + "_i" + std::to_string(info.index);
+    [](const ::testing::TestParamInfo<FcfsCase>& tpi) {
+      return "c" + std::to_string(tpi.param.servers) + "_i" + std::to_string(tpi.index);
     });
 
 // ---------------------------------------------------------------------------
@@ -94,7 +94,9 @@ TEST_P(PsSweep, EqualJobsFinishTogetherAndFairly) {
     }
   }
   EXPECT_EQ(done, jobs);
-  if (p.k == 0) EXPECT_EQ(batches, 1);  // unlimited sharing: all at once
+  if (p.k == 0) {
+    EXPECT_EQ(batches, 1);  // unlimited sharing: all at once
+  }
 }
 
 TEST_P(PsSweep, LatencyIsAdditive) {
@@ -114,9 +116,9 @@ TEST_P(PsSweep, LatencyIsAdditive) {
 INSTANTIATE_TEST_SUITE_P(Grid, PsSweep,
                          ::testing::Values(PsCase{0, 0.0}, PsCase{0, 0.25}, PsCase{2, 0.0},
                                            PsCase{2, 0.1}, PsCase{4, 0.5}, PsCase{1, 0.05}),
-                         [](const ::testing::TestParamInfo<PsCase>& info) {
-                           return "k" + std::to_string(info.param.k) + "_i" +
-                                  std::to_string(info.index);
+                         [](const ::testing::TestParamInfo<PsCase>& tpi) {
+                           return "k" + std::to_string(tpi.param.k) + "_i" +
+                                  std::to_string(tpi.index);
                          });
 
 // ---------------------------------------------------------------------------
@@ -154,8 +156,8 @@ TEST_P(ForkJoinSweep, CompletionOrderIsFifoForUniformJobs) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Branches, ForkJoinSweep, ::testing::Values(1u, 2u, 4u, 12u, 40u),
-                         [](const ::testing::TestParamInfo<unsigned>& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<unsigned>& tpi) {
+                           return "n" + std::to_string(tpi.param);
                          });
 
 }  // namespace

@@ -61,8 +61,8 @@ INSTANTIATE_TEST_SUITE_P(
     Cases, MmcConvergence,
     ::testing::Values(MmcCase{1, 0.5, 1.0}, MmcCase{1, 0.7, 1.0}, MmcCase{2, 1.2, 1.0},
                       MmcCase{4, 2.8, 1.0}, MmcCase{8, 5.6, 1.0}),
-    [](const ::testing::TestParamInfo<MmcCase>& info) {
-      const auto& p = info.param;
+    [](const ::testing::TestParamInfo<MmcCase>& tpi) {
+      const auto& p = tpi.param;
       return "c" + std::to_string(p.servers) + "_rho" +
              std::to_string(static_cast<int>(100 * p.lambda / (p.servers * p.mu)));
     });

@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# CI driver: configure + build + test every preset (release, asan, tsan).
+# CI driver: configure + build + test every leg of the matrix.
 #
-#   tools/ci.sh                # full matrix
-#   tools/ci.sh release        # one preset
+#   tools/ci.sh                # full matrix: lint release audit smoke asan tsan
+#   tools/ci.sh release        # one leg
+#   tools/ci.sh lint audit     # just the correctness tooling
 #   CTEST_ARGS="-R ActiveSet" tools/ci.sh tsan   # filter the test run
+#
+# Legs:
+#   lint     tools/lint/gdisim_lint.py over src/ (determinism lint; no build)
+#   tidy     clang-tidy with the repo .clang-tidy profile (skipped with a
+#            notice when clang-tidy is not installed)
+#   smoke    determinism smoke: diff release fingerprints of the consolidated
+#            scenario between a -j1 and a -jN run (builds `release` if needed)
+#   release/audit/asan/tsan   CMake presets: configure + build + ctest
 #
 # Sanitizer suites run the full tier-1 ctest set; on small hosts expect the
 # tsan leg to dominate wall time (the determinism/stress tests run the
@@ -11,15 +20,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PRESETS=("$@")
-if [ ${#PRESETS[@]} -eq 0 ]; then
-  PRESETS=(release asan tsan)
+LEGS=("$@")
+if [ ${#LEGS[@]} -eq 0 ]; then
+  LEGS=(lint release audit smoke asan tsan)
 fi
 
 JOBS="${JOBS:-$(nproc)}"
 CTEST_ARGS="${CTEST_ARGS:-}"
+SMOKE_ARGS="${SMOKE_ARGS:---scenario consolidated --hours 1 --scale 0.05}"
+# Worker threads for the smoke step's multi-threaded run; floored at 4 so the
+# determinism check still means something on small/1-CPU CI hosts.
+SMOKE_THREADS="${SMOKE_THREADS:-$(( JOBS > 4 ? JOBS : 4 ))}"
 
-for preset in "${PRESETS[@]}"; do
+run_preset() {
+  local preset="$1"
   echo "=== [$preset] configure ==="
   cmake --preset "$preset"
   echo "=== [$preset] build ==="
@@ -27,6 +41,69 @@ for preset in "${PRESETS[@]}"; do
   echo "=== [$preset] test ==="
   # shellcheck disable=SC2086
   ctest --preset "$preset" -j "$JOBS" $CTEST_ARGS
+}
+
+run_lint() {
+  echo "=== [lint] gdisim determinism lint ==="
+  mkdir -p build
+  python3 tools/lint/gdisim_lint.py src --json build/lint-report.json || {
+    echo "lint: active findings (see above); suppress intentionally with // NOLINT(gdisim-*)" >&2
+    return 1
+  }
+}
+
+run_tidy() {
+  echo "=== [tidy] clang-tidy ==="
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "tidy: clang-tidy not installed; skipping (profile: .clang-tidy)"
+    return 0
+  fi
+  cmake --preset release >/dev/null
+  local sources
+  sources=$(git ls-files 'src/*.cc' 'tools/*.cc')
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    # shellcheck disable=SC2086
+    run-clang-tidy -p build -quiet -j "$JOBS" $sources
+  else
+    # shellcheck disable=SC2086
+    clang-tidy -p build --quiet $sources
+  fi
+}
+
+run_smoke() {
+  echo "=== [smoke] determinism fingerprint: -j1 vs -j$SMOKE_THREADS ==="
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "$JOBS" --target gdisim_run >/dev/null
+  local bin=build/tools/gdisim_run
+  local fp1 fpN
+  # shellcheck disable=SC2086
+  fp1=$("$bin" $SMOKE_ARGS --threads 1 --quiet --fingerprint | grep '^fingerprint:')
+  # shellcheck disable=SC2086
+  fpN=$("$bin" $SMOKE_ARGS --threads "$SMOKE_THREADS" --quiet --fingerprint | grep '^fingerprint:')
+  echo "  -j1: $fp1"
+  echo "  -j$SMOKE_THREADS: $fpN"
+  if [ "$fp1" != "$fpN" ]; then
+    echo "smoke: FINGERPRINT MISMATCH — results depend on thread count" >&2
+    return 1
+  fi
+  # shellcheck disable=SC2086
+  local fpD
+  fpD=$("$bin" $SMOKE_ARGS --threads "$SMOKE_THREADS" --quiet --fingerprint --dense-sweep | grep '^fingerprint:')
+  echo "  dense: $fpD"
+  if [ "$fp1" != "$fpD" ]; then
+    echo "smoke: FINGERPRINT MISMATCH — active-set scheduler diverges from dense sweep" >&2
+    return 1
+  fi
+  echo "smoke: fingerprints identical across thread counts and scheduler modes"
+}
+
+for leg in "${LEGS[@]}"; do
+  case "$leg" in
+    lint) run_lint ;;
+    tidy) run_tidy ;;
+    smoke) run_smoke ;;
+    *) run_preset "$leg" ;;
+  esac
 done
 
-echo "ci.sh: all presets green (${PRESETS[*]})"
+echo "ci.sh: all legs green (${LEGS[*]})"

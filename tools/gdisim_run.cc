@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "config/loader.h"
+#include "core/audit.h"
+#include "sim/fingerprint.h"
 #include "sim/gdisim.h"
 
 using namespace gdisim;
@@ -38,13 +40,14 @@ struct CliOptions {
   std::string csv_path;
   bool dense_sweep = false;
   bool quiet = false;
+  bool fingerprint = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--scenario validation|consolidated|multimaster | --config FILE]\n"
                "       [--experiment N] [--hours H] [--scale S] [--threads N] [--seed N]\n"
-               "       [--csv PATH] [--dense-sweep] [--quiet]\n";
+               "       [--csv PATH] [--dense-sweep] [--quiet] [--fingerprint]\n";
   std::exit(2);
 }
 
@@ -77,6 +80,8 @@ CliOptions parse(int argc, char** argv) {
       opt.dense_sweep = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
+    } else if (arg == "--fingerprint") {
+      opt.fingerprint = true;
     } else {
       usage(argv[0]);
     }
@@ -208,6 +213,28 @@ int main(int argc, char** argv) {
   }
 
   if (!opt.quiet) print_summary(sim, horizon_s);
+
+  if (opt.fingerprint) {
+    // Stable digest of the run's observable results. CI's determinism smoke
+    // step (tools/ci.sh smoke) diffs this line between -j1 and -jN runs; any
+    // mismatch is a thread-count-dependent divergence.
+    std::cout << "fingerprint: " << std::hex << result_fingerprint(sim) << std::dec << "\n";
+  }
+
+#if GDISIM_AUDIT_ENABLED
+  {
+    const audit::Report r = audit::snapshot();
+    std::cout << "audit: drain_hash=" << std::hex << r.drain_hash << std::dec
+              << " failures=" << r.failures;
+    for (unsigned c = 0; c < static_cast<unsigned>(audit::Category::kCount); ++c) {
+      const auto cat = static_cast<audit::Category>(c);
+      if (r.spawned[c] == 0) continue;
+      std::cout << " " << audit::category_name(cat) << "=" << r.completed[c] << "/"
+                << r.spawned[c];
+    }
+    std::cout << "\n";
+  }
+#endif
 
   if (!opt.csv_path.empty()) {
     std::ofstream out(opt.csv_path);

@@ -1,0 +1,46 @@
+// Lint self-test fixture: every construct below must be flagged.
+// This file is never compiled; it exists so tests/lint_self_test can pin
+// the linter's behaviour (and its JSON schema) against known-bad input.
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Job {};
+
+void ptr_key_decls() {
+  std::unordered_map<Job*, int> live;       // gdisim-ptr-key-decl
+  std::unordered_set<const Job*> seen;      // gdisim-ptr-key-decl
+  for (auto& [job, refs] : live) {          // gdisim-ptr-key-iter
+    (void)job;
+    (void)refs;
+  }
+  for (const auto& j : seen) {              // gdisim-ptr-key-iter
+    (void)j;
+  }
+}
+
+void addr_ordered() {
+  std::map<Job*, int> ordered;              // gdisim-addr-ordered
+  std::set<Job*, std::less<Job*>> by_addr;  // gdisim-addr-ordered
+  (void)ordered;
+  (void)by_addr;
+}
+
+int raw_rand() {
+  std::random_device rd;                    // gdisim-raw-rand
+  std::mt19937 gen(rd());                   // gdisim-raw-rand
+  return std::rand() + static_cast<int>(gen());  // gdisim-raw-rand
+}
+
+long wall_clock() {
+  const long t = time(nullptr);             // gdisim-wall-clock
+  return t;
+}
+
+const char* env_read() {
+  return std::getenv("GDISIM_THREADS");     // gdisim-getenv
+}

@@ -1,0 +1,21 @@
+// Lint self-test fixture: every construct is NOLINT'd; the linter must
+// report each finding with suppressed=true and exit 0 for this file.
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+
+struct Job {};
+
+void suppressed_cases() {
+  std::unordered_map<Job*, int> live;  // NOLINT(gdisim-ptr-key-decl)
+  // NOLINTNEXTLINE(gdisim-ptr-key-iter)
+  for (auto& [job, refs] : live) {
+    (void)job;
+    (void)refs;
+  }
+  // NOLINTNEXTLINE(gdisim-*)
+  const long t = time(nullptr);
+  (void)t;
+  const char* env = std::getenv("HOME");  // NOLINT
+  (void)env;
+}

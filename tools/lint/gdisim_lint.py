@@ -1,0 +1,393 @@
+#!/usr/bin/env python3
+"""gdisim determinism lint.
+
+Scans C++ sources for constructs that break run-to-run or thread-count
+determinism in the simulator:
+
+  gdisim-ptr-key-iter     range-for / iterator loop over a pointer-keyed
+                          unordered container (iteration order depends on
+                          allocator addresses)
+  gdisim-ptr-key-decl     declaration of a pointer-keyed unordered container
+                          (a loop over it is one refactor away)
+  gdisim-addr-ordered     ordered container / comparator keyed on pointers
+                          (std::set<T*>, std::map<T*, ...>, std::less<T*>)
+  gdisim-raw-rand         std::rand / srand / std::random_device / std::mt19937
+                          outside the seeding shim (src/core/rng.h|cc)
+  gdisim-wall-clock       wall-clock reads in sim code (system_clock,
+                          steady_clock, high_resolution_clock, time(),
+                          gettimeofday, clock_gettime, localtime, gmtime)
+  gdisim-getenv           getenv in sim code (behaviour varies by environment)
+
+Suppression: append ``// NOLINT(gdisim-<rule>)`` to the offending line, or
+put ``// NOLINTNEXTLINE(gdisim-<rule>)`` on the line above. A bare
+``NOLINT`` / ``NOLINTNEXTLINE`` (no rule list) suppresses every rule, as does
+``NOLINT(gdisim-*)``.
+
+The scanner prefers libclang (python bindings) when importable, which lets it
+resolve typedefs and distinguish declarations from comments structurally.
+The container image this repo targets does not ship libclang, so the default
+path is a comment/string-stripping lexer plus regex rules; both paths emit
+the same finding schema.
+
+Usage:
+  gdisim_lint.py [paths...] [--json FILE] [--list-rules] [--include-suppressed]
+
+Exit status: 0 when no active (unsuppressed) findings, 1 otherwise,
+2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+# Matches a pointer type as the first template argument of an associative
+# container, e.g. `std::unordered_map<OperationInstance*, ...>` or
+# `std::unordered_set<const Foo *>`. Allows nested namespace qualifiers.
+_PTR_KEY = r"<\s*(?:const\s+)?[A-Za-z_][A-Za-z0-9_:<>]*\s*\*\s*[,>]"
+
+RULES = {
+    "gdisim-ptr-key-iter": {
+        "pattern": re.compile(
+            r"for\s*\(\s*(?:const\s+)?auto\s*&{0,2}\s*[A-Za-z_\[\]"
+            r"][^)]*:\s*[A-Za-z_][A-Za-z0-9_.\->]*_?\s*\)"
+        ),
+        "message": "range-for over a container; if it is pointer-keyed and "
+        "unordered, iteration order is allocator-dependent",
+        # Only fires when the loop target was declared pointer-keyed in the
+        # same file (see _ptr_key_names below); standalone regex would drown
+        # every range-for in noise.
+        "needs_ptr_key_target": True,
+    },
+    "gdisim-ptr-key-decl": {
+        "pattern": re.compile(r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*" + _PTR_KEY),
+        "message": "pointer-keyed unordered container: iteration order depends "
+        "on allocation addresses; key by a stable ID (e.g. instance_serial) "
+        "or use a JobPool",
+    },
+    "gdisim-addr-ordered": {
+        "pattern": re.compile(
+            r"std\s*::\s*(?:map|set|multimap|multiset)\s*" + _PTR_KEY
+            + r"|std\s*::\s*less\s*<\s*[A-Za-z_][A-Za-z0-9_:<>]*\s*\*\s*>"
+        ),
+        "message": "address-ordered comparator: ordering follows allocation "
+        "addresses, which vary across runs and thread counts",
+    },
+    "gdisim-raw-rand": {
+        "pattern": re.compile(
+            r"std\s*::\s*rand\b|(?<![A-Za-z0-9_])s?rand\s*\(|"
+            r"random_device\b|mt19937(?:_64)?\b"
+        ),
+        "message": "raw RNG outside the seeding shim: draw from core/rng.h "
+        "(xoshiro256** seeded from the run seed) so streams are reproducible",
+        "exempt_files": ("src/core/rng.h", "src/core/rng.cc"),
+    },
+    "gdisim-wall-clock": {
+        "pattern": re.compile(
+            r"system_clock\b|steady_clock\b|high_resolution_clock\b|"
+            r"gettimeofday\b|clock_gettime\b|localtime\b|gmtime\b|"
+            r"(?<![A-Za-z0-9_.])time\s*\(\s*(?:NULL|nullptr|0|\))"
+        ),
+        "message": "wall-clock read in sim code: simulated time must come from "
+        "the tick counter, never the host clock",
+    },
+    "gdisim-getenv": {
+        "pattern": re.compile(r"(?<![A-Za-z0-9_])(?:std\s*::\s*)?getenv\s*\("),
+        "message": "getenv in sim code: behaviour must not depend on the host "
+        "environment; thread configuration through Scenario/GlobalOptions",
+    },
+}
+
+_NOLINT = re.compile(r"NOLINT(NEXTLINE)?(?:\(([^)]*)\))?")
+
+
+def _suppresses(nolint_rules: str | None, rule: str) -> bool:
+    """True when a NOLINT rule list covers `rule` (empty list = all)."""
+    if nolint_rules is None:
+        return True
+    names = [r.strip() for r in nolint_rules.split(",")]
+    return rule in names or "gdisim-*" in names
+
+
+# --------------------------------------------------------------------------
+# Comment/string stripping (regex path)
+# --------------------------------------------------------------------------
+
+
+def _strip_comments(text: str) -> tuple[list[str], list[str]]:
+    """Return (code_lines, raw_lines) with comments and string/char literals
+    blanked out of code_lines. Line count and column positions preserved."""
+    raw_lines = text.splitlines()
+    out = []
+    in_block = False
+    for line in raw_lines:
+        buf = []
+        i, n = 0, len(line)
+        while i < n:
+            c = line[i]
+            if in_block:
+                if c == "*" and i + 1 < n and line[i + 1] == "/":
+                    in_block = False
+                    buf.append("  ")
+                    i += 2
+                else:
+                    buf.append(" ")
+                    i += 1
+            elif c == "/" and i + 1 < n and line[i + 1] == "/":
+                buf.append(" " * (n - i))
+                break
+            elif c == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block = True
+                buf.append("  ")
+                i += 2
+            elif c in "\"'":
+                quote = c
+                buf.append(c)
+                i += 1
+                while i < n:
+                    if line[i] == "\\" and i + 1 < n:
+                        buf.append("  ")
+                        i += 2
+                    elif line[i] == quote:
+                        buf.append(quote)
+                        i += 1
+                        break
+                    else:
+                        buf.append(" ")
+                        i += 1
+            else:
+                buf.append(c)
+                i += 1
+        out.append("".join(buf))
+    return out, raw_lines
+
+
+def _ptr_key_names(code_lines: list[str]) -> set[str]:
+    """Names of variables declared with a pointer-keyed unordered container
+    anywhere in the file — used to make gdisim-ptr-key-iter precise."""
+    decl = re.compile(
+        r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*" + _PTR_KEY
+    )
+    name = re.compile(r">\s*([A-Za-z_][A-Za-z0-9_]*)\s*[;{=]")
+    names: set[str] = set()
+    for line in code_lines:
+        if decl.search(line):
+            m = name.search(line)
+            if m:
+                names.add(m.group(1))
+    return names
+
+
+# --------------------------------------------------------------------------
+# Scanners
+# --------------------------------------------------------------------------
+
+
+def scan_file_regex(path: str, repo_rel: str) -> list[dict]:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    code_lines, raw_lines = _strip_comments(text)
+    ptr_names = _ptr_key_names(code_lines)
+    findings = []
+    for lineno, (code, raw) in enumerate(zip(code_lines, raw_lines), start=1):
+        for rule, spec in RULES.items():
+            exempt = spec.get("exempt_files", ())
+            if any(repo_rel.endswith(e) for e in exempt):
+                continue
+            m = spec["pattern"].search(code)
+            if not m:
+                continue
+            if spec.get("needs_ptr_key_target"):
+                target = re.search(r":\s*([A-Za-z_][A-Za-z0-9_]*)", m.group(0))
+                if not target or target.group(1) not in ptr_names:
+                    continue
+            suppressed = _line_suppressed(raw_lines, lineno, rule)
+            findings.append(
+                {
+                    "file": repo_rel,
+                    "line": lineno,
+                    "rule": rule,
+                    "message": spec["message"],
+                    "snippet": raw.strip()[:160],
+                    "suppressed": suppressed,
+                }
+            )
+    return findings
+
+
+def _line_suppressed(raw_lines: list[str], lineno: int, rule: str) -> bool:
+    m = _NOLINT.search(raw_lines[lineno - 1])
+    if m and not m.group(1) and _suppresses(m.group(2), rule):
+        return True
+    if lineno >= 2:
+        m = _NOLINT.search(raw_lines[lineno - 2])
+        if m and m.group(1) and _suppresses(m.group(2), rule):
+            return True
+    return False
+
+
+def scan_file_libclang(path: str, repo_rel: str, index) -> list[dict]:
+    """AST-assisted pass: walks range-for statements and checks whether the
+    range expression's type is a pointer-keyed unordered container, then
+    falls back to the regex rules for the token-level checks. Requires the
+    libclang python bindings; the caller handles their absence."""
+    from clang import cindex  # noqa: F401  (import checked by caller)
+
+    findings = scan_file_regex(path, repo_rel)
+    tu = index.parse(path, args=["-std=c++20", "-Isrc"])
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw_lines = f.read().splitlines()
+
+    def container_is_ptr_keyed(type_spelling: str) -> bool:
+        return bool(
+            re.search(r"unordered_(?:map|set|multimap|multiset)\s*" + _PTR_KEY,
+                      type_spelling)
+        )
+
+    from clang.cindex import CursorKind
+
+    def walk(cursor):
+        if cursor.kind == CursorKind.CXX_FOR_RANGE_STMT:
+            children = list(cursor.get_children())
+            if children:
+                range_expr = children[-2] if len(children) >= 2 else children[0]
+                spelling = range_expr.type.get_canonical().spelling
+                if container_is_ptr_keyed(spelling):
+                    line = cursor.location.line
+                    if not any(
+                        f["rule"] == "gdisim-ptr-key-iter" and f["line"] == line
+                        for f in findings
+                    ):
+                        findings.append(
+                            {
+                                "file": repo_rel,
+                                "line": line,
+                                "rule": "gdisim-ptr-key-iter",
+                                "message": RULES["gdisim-ptr-key-iter"]["message"],
+                                "snippet": raw_lines[line - 1].strip()[:160]
+                                if 0 < line <= len(raw_lines)
+                                else "",
+                                "suppressed": _line_suppressed(
+                                    raw_lines, line, "gdisim-ptr-key-iter"
+                                ),
+                            }
+                        )
+        for child in cursor.get_children():
+            if child.location.file and child.location.file.name == path:
+                walk(child)
+
+    walk(tu.cursor)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+CXX_EXTS = (".h", ".hpp", ".hh", ".cc", ".cpp", ".cxx")
+
+
+def collect_sources(paths: list[str], root: str) -> list[str]:
+    files = []
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(ap):
+            files.append(ap)
+        else:
+            for dirpath, _dirnames, filenames in os.walk(ap):
+                for fn in sorted(filenames):
+                    if fn.endswith(CXX_EXTS):
+                        files.append(os.path.join(dirpath, fn))
+    return sorted(set(files))
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description="gdisim determinism lint")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to scan (default: src/)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="write a machine-readable report to FILE ('-' for stdout)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--include-suppressed", action="store_true",
+                        help="print suppressed findings too (always in JSON)")
+    parser.add_argument("--root", default=None,
+                        help="repo root for relative paths (default: auto)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, spec in sorted(RULES.items()):
+            print(f"{rule}: {spec['message']}")
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    paths = args.paths or ["src"]
+    files = collect_sources(paths, root)
+    if not files:
+        print("gdisim_lint: no C++ sources found under", ", ".join(paths),
+              file=sys.stderr)
+        return 2
+
+    index = None
+    backend = "regex"
+    try:
+        from clang import cindex
+
+        index = cindex.Index.create()
+        backend = "libclang"
+    except Exception:
+        pass
+
+    findings: list[dict] = []
+    for path in files:
+        rel = os.path.relpath(path, root)
+        if backend == "libclang":
+            try:
+                findings.extend(scan_file_libclang(path, rel, index))
+            except Exception:
+                findings.extend(scan_file_regex(path, rel))
+        else:
+            findings.extend(scan_file_regex(path, rel))
+
+    findings.sort(key=lambda f: (f["file"], f["line"], f["rule"]))
+    active = [f for f in findings if not f["suppressed"]]
+
+    if args.json:
+        report = {
+            "version": 1,
+            "backend": backend,
+            "scanned_files": len(files),
+            "counts": {
+                "active": len(active),
+                "suppressed": len(findings) - len(active),
+            },
+            "findings": findings,
+        }
+        payload = json.dumps(report, indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as f:
+                f.write(payload + "\n")
+
+    shown = findings if args.include_suppressed else active
+    for f in shown:
+        tag = " (suppressed)" if f["suppressed"] else ""
+        print(f"{f['file']}:{f['line']}: [{f['rule']}]{tag} {f['message']}")
+        print(f"    {f['snippet']}")
+    summary = (f"gdisim_lint [{backend}]: {len(files)} files, "
+               f"{len(active)} active finding(s), "
+               f"{len(findings) - len(active)} suppressed")
+    print(summary, file=sys.stderr)
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
