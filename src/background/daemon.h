@@ -51,6 +51,12 @@ class BackgroundDaemon : public Agent {
   const TickClock& clock() const { return clock_; }
   Rng& rng() { return rng_; }
 
+  /// Shared snapshot round trip for the daemon base: RNG, in-flight runs
+  /// (each run's dynamically-built cascade spec travels in full), pending
+  /// completions and the ledger/statistics. Subclasses call this from their
+  /// archive_state override before their own scheduling fields.
+  void archive_daemon_state(StateArchive& ar, HandlerRegistry& reg);
+
  private:
   struct LiveRun {
     std::unique_ptr<CascadeSpec> spec;
@@ -58,12 +64,15 @@ class BackgroundDaemon : public Agent {
     BackgroundRunRecord record;
   };
   struct CompletionMsg {
-    OperationInstance* instance;
+    /// Resolved on restore via the instance serial, never serialized.
+    OperationInstance* instance;  // NOLINT(gdisim-snapshot-ptr)
     Tick end_tick;
   };
 
+  std::unique_ptr<OperationInstance> make_instance(const CascadeSpec& spec, LaunchParams params);
+
   DcId home_dc_;
-  OperationContext* ctx_;
+  OperationContext* ctx_;  // construction-time wiring; never archived  NOLINT(gdisim-snapshot-ptr)
   TickClock clock_;
   Rng rng_;
   /// In-flight runs keyed by instance serial (stable id, never an address).

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "core/archive.h"
 #include "hardware/datacenter.h"
 
 namespace gdisim {
@@ -24,6 +25,25 @@ struct BackgroundRunRecord {
   double exposure_s() const {
     return duration_s + (cover_to_hour - cover_from_hour) * 3600.0;
   }
+
+  void archive_state(StateArchive& ar) {
+    ar.f64(launch_hour);
+    ar.f64(duration_s);
+    ar.f64(cover_from_hour);
+    ar.f64(cover_to_hour);
+    ar.f64(total_mb);
+    auto rw_legs = [&ar](std::vector<std::pair<DcId, double>>& legs) {
+      std::size_t n = legs.size();
+      ar.size_value(n);
+      if (ar.reading()) legs.resize(n);
+      for (auto& [dc, mb] : legs) {
+        ar.u32(dc);
+        ar.f64(mb);
+      }
+    };
+    rw_legs(pull_mb);
+    rw_legs(push_mb);
+  }
 };
 
 class FreshnessLedger {
@@ -37,6 +57,14 @@ class FreshnessLedger {
 
   /// Longest single run, seconds.
   double max_duration_s() const;
+
+  void archive_state(StateArchive& ar) {
+    ar.section("ledger");
+    std::size_t n = runs_.size();
+    ar.size_value(n);
+    if (ar.reading()) runs_.resize(n);
+    for (BackgroundRunRecord& rec : runs_) rec.archive_state(ar);
+  }
 
  private:
   std::vector<BackgroundRunRecord> runs_;

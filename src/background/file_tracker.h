@@ -19,6 +19,7 @@
 
 #include "background/data_growth.h"
 #include "background/ownership.h"
+#include "core/archive.h"
 #include "core/rng.h"
 
 namespace gdisim {
@@ -39,6 +40,14 @@ class StalenessDistribution {
 
   /// Accumulates another distribution into this one.
   void merge(const StalenessDistribution& other);
+
+  void archive_state(StateArchive& ar) {
+    ar.section("staleness");
+    for (auto& b : bins_) ar.u64(b);
+    ar.u64(count_);
+    ar.f64(total_);
+    ar.f64(max_);
+  }
 
  private:
   std::array<std::uint64_t, kBins> bins_{};
@@ -65,6 +74,16 @@ class FileTracker {
   StalenessDistribution pooled() const;
 
   std::uint64_t total_files() const;
+
+  /// Snapshot round trip of the accumulated per-owner distributions (the
+  /// growth model, matrix and seed are construction-time configuration).
+  void archive_state(StateArchive& ar) {
+    ar.section("file_tracker");
+    std::size_t n = per_owner_.size();
+    ar.size_value(n);
+    ar.expect_equal(n, per_owner_.size(), "file tracker owner count");
+    for (StalenessDistribution& d : per_owner_) d.archive_state(ar);
+  }
 
  private:
   DataGrowthModel growth_;

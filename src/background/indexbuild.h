@@ -46,6 +46,14 @@ class IndexBuildDaemon final : public BackgroundDaemon {
   /// R_IB^max: worst unsearchability exposure (seconds) observed so far.
   double max_unsearchable_s() const { return ledger().max_exposure_s(); }
 
+  void archive_state(StateArchive& ar, HandlerRegistry& reg) override {
+    archive_daemon_state(ar, reg);
+    ar.section("indexbuild");
+    ar.boolean(running_);
+    ar.i64(next_launch_);
+    ar.f64(cover_from_hour_);
+  }
+
  protected:
   void on_run_complete(const BackgroundRunRecord& record, Tick end_tick) override;
 

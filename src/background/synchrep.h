@@ -50,6 +50,13 @@ class SynchRepDaemon final : public BackgroundDaemon {
   /// partition for this daemon's home DC is updated on every completed run.
   void set_file_tracker(FileTracker* tracker) { file_tracker_ = tracker; }
 
+  void archive_state(StateArchive& ar, HandlerRegistry& reg) override {
+    archive_daemon_state(ar, reg);
+    ar.section("synchrep");
+    ar.i64(next_launch_);
+    ar.f64(cover_from_hour_);
+  }
+
  protected:
   void on_run_complete(const BackgroundRunRecord& record, Tick end_tick) override;
 
@@ -62,7 +69,7 @@ class SynchRepDaemon final : public BackgroundDaemon {
   Tick next_launch_ = 0;
   Tick interval_ticks_ = 1;
   double cover_from_hour_ = 0.0;
-  FileTracker* file_tracker_ = nullptr;
+  FileTracker* file_tracker_ = nullptr;  // wired at build time; never archived  NOLINT(gdisim-snapshot-ptr)
 };
 
 }  // namespace gdisim

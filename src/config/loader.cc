@@ -13,34 +13,41 @@ namespace gdisim {
 namespace {
 
 struct Line {
+  std::string source;  ///< file path (or "<stream>") for error messages
   int number = 0;
   std::vector<std::string> tokens;
 };
 
-[[noreturn]] void fail(int line, const std::string& why) {
-  throw std::invalid_argument("scenario config line " + std::to_string(line) + ": " + why);
+/// Errors carry "<source>:<line>: ..." so editors can jump straight to the
+/// offending spot; every message quotes the token that caused it.
+[[noreturn]] void fail(const std::string& source, int line, const std::string& why) {
+  throw std::invalid_argument(source + ":" + std::to_string(line) + ": " + why);
+}
+
+[[noreturn]] void fail(const Line& line, const std::string& why) {
+  fail(line.source, line.number, why);
 }
 
 double to_double(const Line& line, std::size_t idx) {
   try {
     return std::stod(line.tokens.at(idx));
   } catch (const std::exception&) {
-    fail(line.number, "expected a number, got '" + line.tokens.at(idx) + "'");
+    fail(line, "expected a number, got '" + line.tokens.at(idx) + "'");
   }
 }
 
 unsigned to_unsigned(const Line& line, std::size_t idx) {
   const double v = to_double(line, idx);
   if (v < 0 || v != static_cast<unsigned>(v)) {
-    fail(line.number, "expected a non-negative integer");
+    fail(line, "expected a non-negative integer, got '" + line.tokens.at(idx) + "'");
   }
   return static_cast<unsigned>(v);
 }
 
 void expect_argc(const Line& line, std::size_t n) {
   if (line.tokens.size() != n) {
-    fail(line.number, "expected " + std::to_string(n - 1) + " argument(s) after '" +
-                          line.tokens[0] + "'");
+    fail(line, "expected " + std::to_string(n - 1) + " argument(s) after '" +
+                   line.tokens[0] + "'");
   }
 }
 
@@ -49,10 +56,10 @@ TierKind parse_tier_kind(const Line& line, const std::string& s) {
   if (s == "db") return TierKind::Db;
   if (s == "fs") return TierKind::Fs;
   if (s == "idx") return TierKind::Idx;
-  fail(line.number, "unknown tier kind '" + s + "' (app|db|fs|idx)");
+  fail(line, "unknown tier kind '" + s + "' (app|db|fs|idx)");
 }
 
-std::vector<Line> tokenize(std::istream& is) {
+std::vector<Line> tokenize(std::istream& is, const std::string& source) {
   std::vector<Line> lines;
   std::string raw;
   int number = 0;
@@ -61,6 +68,7 @@ std::vector<Line> tokenize(std::istream& is) {
     if (const auto hash = raw.find('#'); hash != std::string::npos) raw.resize(hash);
     std::istringstream ls(raw);
     Line line;
+    line.source = source;
     line.number = number;
     std::string token;
     while (ls >> token) line.tokens.push_back(token);
@@ -92,8 +100,8 @@ struct GrowthDecl {
 
 }  // namespace
 
-Scenario load_scenario(std::istream& is) {
-  const std::vector<Line> lines = tokenize(is);
+Scenario load_scenario(std::istream& is, const std::string& source) {
+  const std::vector<Line> lines = tokenize(is, source);
 
   double tick = 0.02;
   std::uint64_t seed = 42;
@@ -115,7 +123,7 @@ Scenario load_scenario(std::istream& is) {
     if (head == "tick") {
       expect_argc(line, 2);
       tick = to_double(line, 1);
-      if (tick <= 0) fail(line.number, "tick must be positive");
+      if (tick <= 0) fail(line, "tick must be positive, got '" + line.tokens[1] + "'");
       ++i;
     } else if (head == "seed") {
       expect_argc(line, 2);
@@ -153,16 +161,16 @@ Scenario load_scenario(std::istream& is) {
           expect_argc(sub, 3);
           bp.tier_link = LinkNotation{to_double(sub, 1), to_double(sub, 2), 1.0};
         } else {
-          fail(sub.number, "unknown datacenter directive '" + key + "'");
+          fail(sub, "unknown datacenter directive '" + key + "'");
         }
         ++i;
       }
-      if (!closed) fail(line.number, "datacenter block not closed with 'end'");
+      if (!closed) fail(line, "datacenter block not closed with 'end'");
       builder.add_datacenter(bp);
       any_dc = true;
     } else if (head == "link" || head == "backup_link") {
       if (line.tokens.size() < 5 || line.tokens.size() > 6) {
-        fail(line.number, "expected: link <a> <b> <gbps> <latency_ms> [alloc]");
+        fail(line, "expected: link <a> <b> <gbps> <latency_ms> [alloc]");
       }
       LinkNotation ln;
       ln.gbps = to_double(line, 3);
@@ -199,7 +207,7 @@ Scenario load_scenario(std::istream& is) {
           expect_argc(sub, 2);
           populations.back().cfg.file_size_mb = to_double(sub, 1);
         } else {
-          fail(sub.number, "unknown population directive '" + key + "'");
+          fail(sub, "unknown population directive '" + key + "'");
         }
         ++i;
       }
@@ -210,7 +218,7 @@ Scenario load_scenario(std::istream& is) {
       ++i;
     } else if (head == "growth") {
       if (line.tokens.size() != 3 && line.tokens.size() != 5) {
-        fail(line.number, "expected: growth <dc> <peak_mb_per_hour> [start end]");
+        fail(line, "expected: growth <dc> <peak_mb_per_hour> [start end]");
       }
       GrowthDecl decl;
       decl.dc = line.tokens[1];
@@ -219,11 +227,11 @@ Scenario load_scenario(std::istream& is) {
       growths.push_back(decl);
       ++i;
     } else {
-      fail(line.number, "unknown directive '" + head + "'");
+      fail(line, "unknown directive '" + head + "'");
     }
   }
 
-  if (!any_dc) throw std::invalid_argument("scenario config: no datacenter defined");
+  if (!any_dc) throw std::invalid_argument(source + ": no datacenter defined");
 
   Scenario s;
   s.tick_seconds = tick;
@@ -239,12 +247,12 @@ Scenario load_scenario(std::istream& is) {
     try {
       dc = s.topology->find_dc(decl.dc_name);
     } catch (const std::out_of_range&) {
-      fail(decl.line, "population references unknown datacenter '" + decl.dc_name + "'");
+      fail(source, decl.line, "population references unknown datacenter '" + decl.dc_name + "'");
     }
     decl.cfg.dc = dc;
     const auto ops = s.catalog->operations_of(decl.app);
     if (ops.empty()) {
-      fail(decl.line, "population references unknown application '" + decl.app + "'");
+      fail(source, decl.line, "population references unknown application '" + decl.app + "'");
     }
     decl.cfg.mix = OperationMix::uniform(ops);
     decl.cfg.curve = decl.hours.has_value()
@@ -294,7 +302,7 @@ Scenario load_scenario(std::istream& is) {
 Scenario load_scenario_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::invalid_argument("cannot open scenario config: " + path);
-  return load_scenario(in);
+  return load_scenario(in, path);
 }
 
 }  // namespace gdisim

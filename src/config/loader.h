@@ -39,11 +39,12 @@
 
 namespace gdisim {
 
-/// Parses a scenario description. Throws std::invalid_argument with a
-/// line-numbered message on malformed input.
-Scenario load_scenario(std::istream& is);
+/// Parses a scenario description. Throws std::invalid_argument on malformed
+/// input; messages use the editor-friendly "<source>:<line>: ..." form and
+/// quote the offending token.
+Scenario load_scenario(std::istream& is, const std::string& source = "<stream>");
 
-/// Convenience: load from a file path.
+/// Convenience: load from a file path (errors carry the path as the source).
 Scenario load_scenario_file(const std::string& path);
 
 }  // namespace gdisim

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/archive.h"
 #include "core/audit.h"
 #include "core/types.h"
 
@@ -114,6 +115,18 @@ class Agent {
   /// Monotonic per-agent sequence for deterministic delivery ordering.
   std::uint64_t next_send_seq() { return send_seq_++; }
 
+  /// Snapshot round trip (DESIGN.md §8). Subclasses with state beyond the
+  /// send sequence override and call the base first so every agent's bytes
+  /// start identically. The wake-scheduler binding, wake hint and audit
+  /// monotonicity fields are intentionally not serialized: they are
+  /// process-local plumbing, re-established when the agent registers with a
+  /// loop (restore conservatively re-wakes everyone, which is result-neutral
+  /// because an idle tick contributes nothing).
+  virtual void archive_state(StateArchive& ar, HandlerRegistry& /*registry*/) {
+    ar.section("agent");
+    ar.u64(send_seq_);
+  }
+
 #if GDISIM_AUDIT_ENABLED
   /// Audit hook (GDISIM_AUDIT_AGENT_TICK): the time-increment signal must
   /// arrive with strictly increasing `now` — an agent ticked twice at the
@@ -130,8 +143,9 @@ class Agent {
  private:
   std::string name_;
   AgentId id_ = kInvalidAgent;
-  AgentWakeScheduler* wake_scheduler_ = nullptr;
-  const std::atomic<bool>* wake_hint_ = nullptr;
+  // Loop wiring, rebound at registration; never archived.
+  AgentWakeScheduler* wake_scheduler_ = nullptr;     // NOLINT(gdisim-snapshot-ptr)
+  const std::atomic<bool>* wake_hint_ = nullptr;     // NOLINT(gdisim-snapshot-ptr)
   std::uint64_t send_seq_ = 0;
 #if GDISIM_AUDIT_ENABLED
   Tick audit_last_tick_ = 0;
@@ -247,6 +261,62 @@ class Inbox {
 
   bool empty() const { return approx_size_.load(std::memory_order_acquire) == 0; }
 
+  /// Snapshot round trip. `payload_fn(ar, payload)` archives one payload.
+  ///
+  /// Saving is strictly read-only (a checkpoint must not perturb the run):
+  /// the shards are copied out under their locks, merged and sorted on
+  /// (visible_at, sender, seq) — the same canonical order a drain would use —
+  /// so the bytes are independent of which thread posted what. Loading
+  /// places everything in shard 0; drains merge and re-sort anyway, so
+  /// delivery order is unaffected and a restore→re-save round trip is
+  /// byte-identical.
+  template <typename Fn>
+  void archive_state(StateArchive& ar, Fn&& payload_fn) {
+    ar.section("inbox");
+    if (ar.writing()) {
+      std::vector<Delivery<T>> all;
+      for (Shard& s : shards_) {
+        s.lock.lock();
+        all.insert(all.end(), s.pending.begin(), s.pending.end());
+        s.lock.unlock();
+      }
+      std::sort(all.begin(), all.end(), [](const Delivery<T>& a, const Delivery<T>& b) {
+        if (a.visible_at != b.visible_at) return a.visible_at < b.visible_at;
+        if (a.sender != b.sender) return a.sender < b.sender;
+        return a.seq < b.seq;
+      });
+      std::size_t n = all.size();
+      ar.size_value(n);
+      for (Delivery<T>& d : all) {
+        ar.i64(d.visible_at);
+        ar.u32(d.sender);
+        ar.u64(d.seq);
+        payload_fn(ar, d.payload);
+      }
+    } else {
+      for (Shard& s : shards_) {
+        s.lock.lock();
+        s.pending.clear();
+        s.lock.unlock();
+        s.count.store(0, std::memory_order_release);
+      }
+      std::size_t n = 0;
+      ar.size_value(n);
+      Shard& s0 = shards_[0];
+      s0.pending.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        Delivery<T> d;
+        ar.i64(d.visible_at);
+        ar.u32(d.sender);
+        ar.u64(d.seq);
+        payload_fn(ar, d.payload);
+        s0.pending.push_back(std::move(d));
+      }
+      s0.count.store(static_cast<std::uint32_t>(n), std::memory_order_release);
+      approx_size_.store(static_cast<std::int64_t>(n), std::memory_order_release);
+    }
+  }
+
   /// Exact once all posters have synchronized with the caller (the counter
   /// is adjusted on every post/drain).
   std::size_t size() const {
@@ -265,7 +335,7 @@ class Inbox {
   };
 
   std::array<Shard, kShards> shards_;
-  Agent* owner_ = nullptr;
+  Agent* owner_ = nullptr;  // bound at construction; never archived  NOLINT(gdisim-snapshot-ptr)
   std::atomic<std::int64_t> approx_size_{0};
 };
 

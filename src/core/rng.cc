@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/archive.h"
+
 namespace gdisim {
 
 double Rng::next_exponential(double mean) {
@@ -26,6 +28,10 @@ Rng Rng::split(std::string_view purpose) const {
   // streams are decorrelated from the parent and from each other.
   std::uint64_t folded = s_[0] ^ (s_[1] * 0x9e3779b97f4a7c15ULL) ^ stable_hash(purpose);
   return Rng(SplitMix64(folded).next());
+}
+
+void Rng::archive_state(StateArchive& ar) {
+  for (auto& word : s_) ar.u64(word);
 }
 
 std::uint64_t stable_hash(std::string_view s) {

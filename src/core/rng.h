@@ -11,6 +11,8 @@
 
 namespace gdisim {
 
+class StateArchive;
+
 /// SplitMix64: tiny, fast, passes BigCrush when used as a stream; ideal for
 /// deriving independent streams from a seed.
 class SplitMix64 {
@@ -79,6 +81,10 @@ class Rng {
 
   /// Derives an independent child stream; stable across platforms.
   Rng split(std::string_view purpose) const;
+
+  /// Snapshot round trip: the four xoshiro256** state words, i.e. the exact
+  /// stream position.
+  void archive_state(StateArchive& ar);
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/archive.h"
 #include "core/audit.h"
 
 namespace gdisim {
@@ -244,6 +245,43 @@ double SimulationLoop::take_window_active_mean() {
   window_active_accum_ = 0.0;
   window_iters_ = 0;
   return mean;
+}
+
+void SimulationLoop::archive_state(StateArchive& ar) {
+  ar.section("loop");
+  ar.i64(now_);
+  ar.u64(stats_.iterations);
+  ar.u64(stats_.agent_phase_runs);
+  ar.size_value(stats_.last_active);
+  std::size_t n_agents = agents_.size();
+  ar.size_value(n_agents);
+  ar.expect_equal(n_agents, agents_.size(), "loop agent count");
+  for (auto& runs : stats_.per_agent_runs) ar.u64(runs);
+  ar.f64(window_active_accum_);
+  ar.u64(window_iters_);
+  if (ar.reading() && active_mode_) {
+    // Conservative re-wake: discard the saved scheduling state and mark every
+    // agent due for the next iteration. Each agent's next_wake_tick answer
+    // re-parks it after one phase, so this cannot change results — it only
+    // costs one dense-sized iteration, the same as the initial warm-up.
+    active_.clear();
+    always_active_.clear();
+    std::fill(in_always_.begin(), in_always_.end(), 0);
+    immediate_.clear();
+    calendar_ = WakeCalendar(calendar_.wheel_slots());
+    calendar_.ensure_agents(agents_.size());
+    for (WokenShard& s : woken_) {
+      s.lock.lock();
+      s.ids.clear();
+      s.lock.unlock();
+    }
+    woken_pending_.store(0, std::memory_order_relaxed);
+    woken_scratch_.clear();
+    for (AgentId id = 0; id < static_cast<AgentId>(agents_.size()); ++id) {
+      wake_flag_[id].store(true, std::memory_order_relaxed);
+      immediate_.push_back(id);
+    }
+  }
 }
 
 void SimulationLoop::run_until(Tick end_tick) {

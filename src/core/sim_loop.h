@@ -128,6 +128,14 @@ class SimulationLoop : public AgentWakeScheduler {
   ExecutionEngine& engine() { return *engine_; }
   void set_engine(ExecutionEngine& engine) { engine_ = &engine; }
 
+  /// Snapshot round trip of the loop's own state: the clock position and the
+  /// scheduler statistics. Active-set bookkeeping (calendar, wake flags,
+  /// shards) is deliberately *not* serialized — on read every agent is
+  /// re-marked immediate, which is result-neutral: each agent's own
+  /// next_wake_tick answer takes over after one iteration, exactly like the
+  /// post-registration warm-up.
+  void archive_state(StateArchive& ar);
+
  private:
   void step_dense(Tick now);
   void step_active(Tick now);
@@ -150,7 +158,7 @@ class SimulationLoop : public AgentWakeScheduler {
 
   SimLoopConfig config_;
   TickClock clock_;
-  ExecutionEngine* engine_;
+  ExecutionEngine* engine_;  // construction-time wiring; never archived  NOLINT(gdisim-snapshot-ptr)
   std::vector<Agent*> agents_;
   std::function<void(Tick)> collect_cb_;
   std::vector<std::function<void(Tick)>> pre_tick_hooks_;

@@ -25,6 +25,7 @@
 
 #include "core/agent.h"
 #include "core/types.h"
+#include "queueing/job.h"
 
 namespace gdisim {
 
@@ -46,10 +47,64 @@ class StageCompletionHandler {
 /// join on completion; other components ignore it.
 struct StageJob {
   double work = 0.0;
-  StageCompletionHandler* handler = nullptr;
+  /// Runtime-only pointer; snapshots re-express it as a HandlerKey
+  /// (launcher AgentId + instance serial) via archive_stage_job.
+  StageCompletionHandler* handler = nullptr;  // NOLINT(gdisim-snapshot-ptr)
   std::uint64_t tag = 0;
   unsigned parallelism = 1;
 };
+
+/// Snapshot round trip for one StageJob: the handler pointer travels as its
+/// stable HandlerKey and is re-resolved against the live instances the
+/// software layer (re)bound into the registry.
+inline void archive_stage_job(StateArchive& ar, HandlerRegistry& reg, StageJob& job) {
+  ar.f64(job.work);
+  AgentId owner = kInvalidAgent;
+  std::uint64_t serial = 0;
+  if (ar.writing() && job.handler != nullptr) {
+    const HandlerKey key = reg.key_of(job.handler);
+    owner = key.owner;
+    serial = key.serial;
+  }
+  ar.u32(owner);
+  ar.u64(serial);
+  if (ar.reading()) {
+    job.handler = owner == kInvalidAgent ? nullptr : reg.resolve(HandlerKey{owner, serial});
+  }
+  ar.u64(job.tag);
+  std::uint32_t parallelism = job.parallelism;
+  ar.u32(parallelism);
+  job.parallelism = parallelism;
+}
+
+/// Shared discipline archiver for single-queue components whose JobCtx is a
+/// pool-owned StageJob copy (NIC, switch, link). The job table is streamed
+/// in queue-enumeration order, so the ctx code for each queued job is simply
+/// its enumeration position — stable, dense, and address-free.
+template <typename Queue>
+void archive_stagejob_queue(StateArchive& ar, HandlerRegistry& reg, Queue& queue,
+                            JobPool<StageJob>& pool) {
+  if (ar.writing()) {
+    std::vector<StageJob*> order;
+    queue.for_each_ctx([&order](JobCtx ctx) { order.push_back(static_cast<StageJob*>(ctx)); });
+    std::size_t n = order.size();
+    ar.size_value(n);
+    for (StageJob* job : order) archive_stage_job(ar, reg, *job);
+    std::uint64_t next = 0;
+    queue.archive_state(ar, [&next](JobCtx) { return next++; }, {});
+  } else {
+    std::size_t n = 0;
+    ar.size_value(n);
+    std::vector<JobCtx> loaded;
+    loaded.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      StageJob job;
+      archive_stage_job(ar, reg, job);
+      loaded.push_back(pool.create(job));
+    }
+    queue.archive_state(ar, {}, [&loaded](std::uint64_t idx) { return loaded.at(idx); });
+  }
+}
 
 class Component : public Agent {
  public:
@@ -150,7 +205,33 @@ class Component : public Agent {
   /// Jobs currently queued or in service.
   virtual std::size_t queue_length() const = 0;
 
+  /// Snapshot round trip shared by every hardware component: agent base,
+  /// undrained inbox, instant-work buckets and the utilization window, then
+  /// the subclass discipline via archive_discipline().
+  void archive_state(StateArchive& ar, HandlerRegistry& reg) override {
+    Agent::archive_state(ar, reg);
+    ar.section("component");
+    inbox_.archive_state(ar, [&reg](StateArchive& a, StageJob& job) {
+      archive_stage_job(a, reg, job);
+    });
+    double b0 = instant_buckets_[0].load(std::memory_order_relaxed);
+    double b1 = instant_buckets_[1].load(std::memory_order_relaxed);
+    ar.f64(b0);
+    ar.f64(b1);
+    if (ar.reading()) {
+      instant_buckets_[0].store(b0, std::memory_order_relaxed);
+      instant_buckets_[1].store(b1, std::memory_order_relaxed);
+    }
+    ar.f64(instant_fraction_);
+    ar.f64(window_accum_);
+    ar.i64(window_start_tick_);
+    archive_discipline(ar, reg);
+  }
+
  protected:
+  /// Subclass hook: serialize the discipline queues and in-flight job
+  /// contexts. Default: stateless discipline.
+  virtual void archive_discipline(StateArchive& /*ar*/, HandlerRegistry& /*reg*/) {}
   /// Moves an absorbed job into the service discipline.
   virtual void accept(StageJob job) = 0;
 

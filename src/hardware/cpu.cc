@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/archive.h"
 
 namespace gdisim {
 
@@ -40,6 +44,53 @@ void CpuComponent::advance_tick(Tick now, double dt) {
     }
   }
   last_utilization_ = util_sum / static_cast<double>(sockets_.size());
+}
+
+void CpuComponent::archive_discipline(StateArchive& ar, HandlerRegistry& reg) {
+  ar.section("cpu");
+  std::size_t sockets = sockets_.size();
+  ar.size_value(sockets);
+  ar.expect_equal(sockets, sockets_.size(), "cpu socket count");
+  if (ar.writing()) {
+    // First-encounter index over the pending jobs referenced by the socket
+    // queues (a parallel job appears once per share); the map is
+    // lookup-only, never iterated.
+    std::vector<PendingJob*> order;
+    std::unordered_map<PendingJob*, std::uint64_t> index;  // NOLINT(gdisim-ptr-key-decl)
+    const JobCtxEncoder enc = [&](JobCtx ctx) -> std::uint64_t {
+      auto* pending = static_cast<PendingJob*>(ctx);
+      const auto [it, fresh] = index.emplace(pending, order.size());
+      if (fresh) order.push_back(pending);
+      return it->second;
+    };
+    for (auto& socket : sockets_) socket.archive_state(ar, enc, {});
+    std::size_t n = order.size();
+    ar.size_value(n);
+    for (PendingJob* pending : order) {
+      archive_stage_job(ar, reg, pending->stage);
+      std::uint32_t outstanding = pending->outstanding;
+      ar.u32(outstanding);
+    }
+  } else {
+    std::vector<PendingJob*> loaded;
+    const JobCtxDecoder dec = [&](std::uint64_t idx) -> JobCtx {
+      while (loaded.size() <= idx) loaded.push_back(pool_.create(PendingJob{}));
+      return loaded[idx];
+    };
+    for (auto& socket : sockets_) socket.archive_state(ar, {}, dec);
+    std::size_t n = 0;
+    ar.size_value(n);
+    if (n != loaded.size()) {
+      throw std::runtime_error("snapshot: cpu pending-job table disagrees with socket queues");
+    }
+    for (PendingJob* pending : loaded) {
+      archive_stage_job(ar, reg, pending->stage);
+      std::uint32_t outstanding = 0;
+      ar.u32(outstanding);
+      pending->outstanding = outstanding;
+    }
+  }
+  ar.f64(last_utilization_);
 }
 
 std::size_t CpuComponent::queue_length() const {

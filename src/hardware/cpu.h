@@ -50,6 +50,7 @@ class CpuComponent final : public Component {
   void accept(StageJob job) override;
   void advance_tick(Tick now, double dt) override;
   double raw_utilization() const override { return last_utilization_; }
+  void archive_discipline(StateArchive& ar, HandlerRegistry& reg) override;
 
  private:
   struct PendingJob {

@@ -42,6 +42,14 @@ class DelayComponent final : public Component {
     in_flight_.resize(keep);
   }
 
+  void archive_discipline(StateArchive& ar, HandlerRegistry& reg) override {
+    ar.section("delay");
+    std::size_t n = in_flight_.size();
+    ar.size_value(n);
+    if (ar.reading()) in_flight_.assign(n, StageJob{});
+    for (StageJob& job : in_flight_) archive_stage_job(ar, reg, job);
+  }
+
  private:
   std::vector<StageJob> in_flight_;
 };

@@ -48,6 +48,11 @@ class LinkComponent final : public Component {
     }
   }
 
+  void archive_discipline(StateArchive& ar, HandlerRegistry& reg) override {
+    ar.section("link");
+    archive_stagejob_queue(ar, reg, queue_, pool_);
+  }
+
  private:
   LinkSpec spec_;
   PsQueue queue_;

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "core/archive.h"
 #include "core/audit.h"
 #include "core/rng.h"
 
@@ -64,6 +65,16 @@ class MemoryComponent {
 
   double utilization() const { return occupied_bytes() / spec_.capacity_bytes; }
   const MemorySpec& spec() const { return spec_; }
+
+  /// Snapshot round trip: occupancy only — the spec is configuration. The
+  /// held-allocation bookkeeping lives with the operation instances, which
+  /// re-reference this component by its server's CPU AgentId.
+  void archive_state(StateArchive& ar) {
+    ar.section("memory");
+    std::int64_t occupied = occupied_milli_.load(std::memory_order_relaxed);
+    ar.i64(occupied);
+    if (ar.reading()) occupied_milli_.store(occupied, std::memory_order_relaxed);
+  }
 
  private:
   static std::int64_t to_milli(double bytes) { return static_cast<std::int64_t>(bytes * 1000.0); }

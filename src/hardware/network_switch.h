@@ -34,6 +34,11 @@ class SwitchComponent final : public Component {
     }
   }
 
+  void archive_discipline(StateArchive& ar, HandlerRegistry& reg) override {
+    ar.section("switch");
+    archive_stagejob_queue(ar, reg, queue_, pool_);
+  }
+
  private:
   SwitchSpec spec_;
   FcfsMultiServerQueue queue_;

@@ -33,6 +33,11 @@ class NicComponent final : public Component {
     }
   }
 
+  void archive_discipline(StateArchive& ar, HandlerRegistry& reg) override {
+    ar.section("nic");
+    archive_stagejob_queue(ar, reg, queue_, pool_);
+  }
+
  private:
   NicSpec spec_;
   FcfsMultiServerQueue queue_;

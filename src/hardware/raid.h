@@ -44,6 +44,7 @@ class RaidComponent final : public Component {
   double raw_utilization() const override { return last_disk_utilization_; }
   void accept(StageJob job) override;
   void advance_tick(Tick now, double dt) override;
+  void archive_discipline(StateArchive& ar, HandlerRegistry& reg) override;
 
  private:
   struct RaidJob {
@@ -51,7 +52,9 @@ class RaidComponent final : public Component {
     unsigned outstanding = 0;  ///< branches still serving (0 while in dacc)
   };
   struct BranchJob {
-    RaidJob* parent;
+    /// Pool-owned parent; snapshots travel as an index into the streamed
+    /// job table, never as an address.
+    RaidJob* parent;  // NOLINT(gdisim-snapshot-ptr)
   };
 
   void complete(RaidJob* job, Tick now);

@@ -1,7 +1,9 @@
 #include "hardware/san.h"
 
 #include <stdexcept>
+#include <unordered_map>
 
+#include "core/archive.h"
 #include "core/audit.h"
 
 namespace gdisim {
@@ -96,6 +98,91 @@ void SanComponent::advance_tick(Tick now, double dt) {
 
 std::size_t SanComponent::queue_length() const {
   return jobs_.live();
+}
+
+void SanComponent::archive_discipline(StateArchive& ar, HandlerRegistry& reg) {
+  ar.section("san");
+  std::size_t disks = dcc_.size();
+  ar.size_value(disks);
+  ar.expect_equal(disks, dcc_.size(), "san disk count");
+  rng_.archive_state(ar);
+  if (ar.writing()) {
+    // Same table-then-queues layout as RaidComponent; enumeration order is
+    // fcsw, dacc, fcal, then the per-disk branches. Maps are lookup-only.
+    std::vector<SanJob*> job_order;
+    std::unordered_map<SanJob*, std::uint64_t> job_index;  // NOLINT(gdisim-ptr-key-decl)
+    std::vector<BranchJob*> branch_order;
+    std::unordered_map<BranchJob*, std::uint64_t> branch_index;  // NOLINT(gdisim-ptr-key-decl)
+    const auto note_job = [&](SanJob* job) {
+      if (job_index.emplace(job, job_order.size()).second) job_order.push_back(job);
+    };
+    const auto note_branch = [&](BranchJob* branch) {
+      note_job(branch->parent);
+      if (branch_index.emplace(branch, branch_order.size()).second) {
+        branch_order.push_back(branch);
+      }
+    };
+    fcsw_.for_each_ctx([&](JobCtx ctx) { note_job(static_cast<SanJob*>(ctx)); });
+    dacc_.for_each_ctx([&](JobCtx ctx) { note_job(static_cast<SanJob*>(ctx)); });
+    fcal_.for_each_ctx([&](JobCtx ctx) { note_job(static_cast<SanJob*>(ctx)); });
+    for (auto& q : dcc_) q.for_each_ctx([&](JobCtx ctx) { note_branch(static_cast<BranchJob*>(ctx)); });
+    for (auto& q : hdd_) q.for_each_ctx([&](JobCtx ctx) { note_branch(static_cast<BranchJob*>(ctx)); });
+
+    std::size_t nj = job_order.size();
+    ar.size_value(nj);
+    for (SanJob* job : job_order) {
+      archive_stage_job(ar, reg, job->stage);
+      std::uint32_t outstanding = job->outstanding;
+      ar.u32(outstanding);
+    }
+    std::size_t nb = branch_order.size();
+    ar.size_value(nb);
+    for (BranchJob* branch : branch_order) {
+      std::uint64_t parent = job_index.at(branch->parent);
+      ar.u64(parent);
+    }
+    const JobCtxEncoder enc_job = [&](JobCtx ctx) {
+      return job_index.at(static_cast<SanJob*>(ctx));
+    };
+    const JobCtxEncoder enc_branch = [&](JobCtx ctx) {
+      return branch_index.at(static_cast<BranchJob*>(ctx));
+    };
+    fcsw_.archive_state(ar, enc_job, {});
+    dacc_.archive_state(ar, enc_job, {});
+    fcal_.archive_state(ar, enc_job, {});
+    for (auto& q : dcc_) q.archive_state(ar, enc_branch, {});
+    for (auto& q : hdd_) q.archive_state(ar, enc_branch, {});
+  } else {
+    std::size_t nj = 0;
+    ar.size_value(nj);
+    std::vector<SanJob*> jobs;
+    jobs.reserve(nj);
+    for (std::size_t i = 0; i < nj; ++i) {
+      StageJob stage;
+      archive_stage_job(ar, reg, stage);
+      std::uint32_t outstanding = 0;
+      ar.u32(outstanding);
+      jobs.push_back(jobs_.create(SanJob{stage, outstanding}));
+      GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kSanJob);
+    }
+    std::size_t nb = 0;
+    ar.size_value(nb);
+    std::vector<BranchJob*> branches;
+    branches.reserve(nb);
+    for (std::size_t i = 0; i < nb; ++i) {
+      std::uint64_t parent = 0;
+      ar.u64(parent);
+      branches.push_back(branch_jobs_.create(BranchJob{jobs.at(parent)}));
+    }
+    const JobCtxDecoder dec_job = [&](std::uint64_t idx) -> JobCtx { return jobs.at(idx); };
+    const JobCtxDecoder dec_branch = [&](std::uint64_t idx) -> JobCtx { return branches.at(idx); };
+    fcsw_.archive_state(ar, {}, dec_job);
+    dacc_.archive_state(ar, {}, dec_job);
+    fcal_.archive_state(ar, {}, dec_job);
+    for (auto& q : dcc_) q.archive_state(ar, {}, dec_branch);
+    for (auto& q : hdd_) q.archive_state(ar, {}, dec_branch);
+  }
+  ar.f64(last_disk_utilization_);
 }
 
 }  // namespace gdisim

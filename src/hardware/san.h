@@ -44,6 +44,7 @@ class SanComponent final : public Component {
   double raw_utilization() const override { return last_disk_utilization_; }
   void accept(StageJob job) override;
   void advance_tick(Tick now, double dt) override;
+  void archive_discipline(StateArchive& ar, HandlerRegistry& reg) override;
 
  private:
   struct SanJob {
@@ -51,7 +52,9 @@ class SanComponent final : public Component {
     unsigned outstanding = 0;
   };
   struct BranchJob {
-    SanJob* parent;
+    /// Pool-owned parent; snapshots travel as an index into the streamed
+    /// job table, never as an address.
+    SanJob* parent;  // NOLINT(gdisim-snapshot-ptr)
   };
 
   void complete(SanJob* job, Tick now);

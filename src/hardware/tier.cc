@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/archive.h"
+
 namespace gdisim {
 
 const char* tier_kind_name(TierKind kind) {
@@ -39,6 +41,24 @@ void Tier::set_server_alive(std::size_t index, bool alive) {
 }
 
 std::size_t Tier::alive_count() const { return alive_index_.size(); }
+
+void Tier::archive_failure_state(StateArchive& ar) {
+  ar.section("tier");
+  std::size_t n = alive_.size();
+  ar.size_value(n);
+  ar.expect_equal(n, alive_.size(), "tier server count");
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    bool alive = alive_[i];
+    ar.boolean(alive);
+    alive_[i] = alive;
+  }
+  if (ar.reading()) {
+    alive_index_.clear();
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      if (alive_[i]) alive_index_.push_back(i);
+    }
+  }
+}
 
 double Tier::mean_cpu_utilization() const {
   double sum = 0.0;

@@ -55,6 +55,10 @@ class Tier {
 
   std::vector<Component*> owned_components();
 
+  /// Snapshot round trip of the failure-injection state (which servers are
+  /// alive); the alive index is rebuilt on read.
+  void archive_failure_state(StateArchive& ar);
+
  private:
   TierKind kind_;
   std::string name_;

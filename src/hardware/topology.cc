@@ -3,6 +3,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "core/archive.h"
+
 namespace gdisim {
 
 DcId Topology::add_datacenter(std::unique_ptr<DataCenter> dc) {
@@ -104,6 +106,29 @@ std::vector<Component*> Topology::all_components() {
   }
   for (auto& [key, link] : links_) out.push_back(link.get());
   return out;
+}
+
+void Topology::archive_failure_state(StateArchive& ar) {
+  ar.section("topology");
+  std::size_t ndc = dcs_.size();
+  ar.size_value(ndc);
+  ar.expect_equal(ndc, dcs_.size(), "data center count");
+  for (auto& dc : dcs_) {
+    for (unsigned k = 0; k < static_cast<unsigned>(TierKind::kCount); ++k) {
+      if (Tier* tier = dc->tier(static_cast<TierKind>(k))) {
+        tier->archive_failure_state(ar);
+      }
+    }
+  }
+  std::size_t nlinks = link_usable_.size();
+  ar.size_value(nlinks);
+  ar.expect_equal(nlinks, link_usable_.size(), "WAN link count");
+  for (auto& [key, usable] : link_usable_) {
+    bool value = usable;
+    ar.boolean(value);
+    usable = value;
+  }
+  if (ar.reading()) compute_routes();
 }
 
 void Topology::register_with(SimulationLoop& loop) {

@@ -53,6 +53,10 @@ class Topology {
   /// Registers all components with the loop and sets their tick length.
   void register_with(SimulationLoop& loop);
 
+  /// Snapshot round trip of the failure-injection state: per-tier server
+  /// liveness and per-link usability. Routes are recomputed on read.
+  void archive_failure_state(StateArchive& ar);
+
  private:
   std::vector<std::unique_ptr<DataCenter>> dcs_;
   std::map<std::pair<DcId, DcId>, std::unique_ptr<LinkComponent>> links_;

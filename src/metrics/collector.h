@@ -32,6 +32,17 @@ class Collector {
   const TimeSeries* find(const std::string& label) const;
   std::size_t probe_count() const { return probes_.size(); }
 
+  /// Snapshot round trip of every probe's series. Probe count and labels are
+  /// structural: the restored scenario registers the same probes in the same
+  /// order before restore is called.
+  void archive_state(StateArchive& ar) {
+    ar.section("collector");
+    std::size_t n = series_.size();
+    ar.size_value(n);
+    ar.expect_equal(n, series_.size(), "collector probe count");
+    for (TimeSeries& s : series_) s.archive_state(ar);
+  }
+
  private:
   double tick_seconds_;
   std::vector<Probe> probes_;

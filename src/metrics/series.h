@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "core/archive.h"
+
 namespace gdisim {
 
 struct Sample {
@@ -40,6 +42,19 @@ class TimeSeries {
 
   /// Value series only (aligned comparisons).
   std::vector<double> values() const;
+
+  /// Snapshot round trip of the accumulated samples; the label is structural
+  /// (probes are re-registered by the scenario builder, not restored).
+  void archive_state(StateArchive& ar) {
+    ar.section("series");
+    std::size_t n = samples_.size();
+    ar.size_value(n);
+    if (ar.reading()) samples_.resize(n);
+    for (Sample& s : samples_) {
+      ar.f64(s.t_seconds);
+      ar.f64(s.value);
+    }
+  }
 
  private:
   std::string label_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/archive.h"
 #include "core/audit.h"
 
 namespace gdisim {
@@ -22,6 +23,52 @@ void FcfsMultiServerQueue::enqueue(double work, JobCtx ctx) {
   } else {
     waiting_.push_back(job);
   }
+}
+
+void FcfsMultiServerQueue::archive_state(StateArchive& ar, const JobCtxEncoder& enc,
+                                         const JobCtxDecoder& dec) {
+  ar.section("fcfs");
+  const auto rw_jobs = [&](auto& container) {
+    std::size_t n = container.size();
+    ar.size_value(n);
+    if (ar.writing()) {
+      for (QueuedJob& j : container) {
+        ar.f64(j.remaining);
+        std::uint64_t code = enc(j.ctx);
+        ar.u64(code);
+        ar.u64(j.enqueue_seq);
+      }
+    } else {
+      container.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        QueuedJob j;
+        ar.f64(j.remaining);
+        std::uint64_t code = 0;
+        ar.u64(code);
+        j.ctx = dec(code);
+        ar.u64(j.enqueue_seq);
+        container.push_back(j);
+        // Restored jobs were spawned before the checkpoint; replay the spawn
+        // so the job-conservation ledger balances across the restore.
+        GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kFcfsJob);
+      }
+    }
+  };
+  rw_jobs(in_service_);
+  rw_jobs(waiting_);
+  if (ar.reading()) {
+    // A scenario fork may have shrunk the station; spill overflow back onto
+    // the head of the waiting line, preserving FCFS order.
+    while (in_service_.size() > servers_) {
+      waiting_.push_front(in_service_.back());
+      in_service_.pop_back();
+    }
+  }
+  ar.u64(seq_);
+  ar.f64(last_utilization_);
+  ar.f64(busy_server_seconds_);
+  ar.f64(elapsed_seconds_);
+  ar.u64(completed_jobs_);
 }
 
 AdvanceResult FcfsMultiServerQueue::advance(double dt) {

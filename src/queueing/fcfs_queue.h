@@ -58,6 +58,22 @@ class FcfsMultiServerQueue {
   double elapsed_seconds() const { return elapsed_seconds_; }
   std::uint64_t completed_jobs() const { return completed_jobs_; }
 
+  /// Snapshot round trip. Contexts are opaque to the queue, so the caller
+  /// supplies `enc` (write: ctx -> stable index) and `dec` (read: index ->
+  /// ctx). Jobs are visited in deterministic order: service slots first,
+  /// then the waiting line. If the restored service set exceeds the current
+  /// server count (a scenario fork shrank the station), the overflow spills
+  /// back onto the waiting line.
+  void archive_state(StateArchive& ar, const JobCtxEncoder& enc, const JobCtxDecoder& dec);
+
+  /// Calls fn(ctx) for every in-flight context, in the same deterministic
+  /// order archive_state serializes them.
+  template <typename Fn>
+  void for_each_ctx(Fn&& fn) const {
+    for (const QueuedJob& j : in_service_) fn(j.ctx);
+    for (const QueuedJob& j : waiting_) fn(j.ctx);
+  }
+
  private:
   double advance_busy(double dt, std::vector<JobCtx>& completed);
 

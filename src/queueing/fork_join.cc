@@ -1,7 +1,9 @@
 #include "queueing/fork_join.h"
 
 #include <stdexcept>
+#include <unordered_map>
 
+#include "core/archive.h"
 #include "core/audit.h"
 
 namespace gdisim {
@@ -45,6 +47,61 @@ AdvanceResult ForkJoinQueue::advance(double dt) {
 
 std::size_t ForkJoinQueue::total_jobs() const {
   return joins_.live();
+}
+
+void ForkJoinQueue::archive_state(StateArchive& ar, const JobCtxEncoder& enc,
+                                  const JobCtxDecoder& dec) {
+  ar.section("fork_join");
+  std::size_t nb = branches_.size();
+  ar.size_value(nb);
+  ar.expect_equal(nb, branches_.size(), "fork-join branch count");
+  if (ar.writing()) {
+    // First-encounter index over the JoinStates referenced from the branch
+    // queues. Every live join has outstanding > 0 shares queued, so this
+    // enumeration is exhaustive. The map is lookup-only, never iterated.
+    std::vector<JoinState*> order;
+    std::unordered_map<JoinState*, std::uint64_t> index;  // NOLINT(gdisim-ptr-key-decl)
+    const JobCtxEncoder branch_enc = [&](JobCtx ctx) -> std::uint64_t {
+      auto* join = static_cast<JoinState*>(ctx);
+      const auto [it, fresh] = index.emplace(join, order.size());
+      if (fresh) order.push_back(join);
+      return it->second;
+    };
+    for (auto& branch : branches_) branch.archive_state(ar, branch_enc, {});
+    std::size_t nj = order.size();
+    ar.size_value(nj);
+    for (JoinState* join : order) {
+      std::uint32_t outstanding = join->outstanding;
+      ar.u32(outstanding);
+      std::uint64_t code = enc(join->ctx);
+      ar.u64(code);
+    }
+  } else {
+    std::vector<JoinState*> loaded;
+    const JobCtxDecoder branch_dec = [&](std::uint64_t idx) -> JobCtx {
+      while (loaded.size() <= idx) {
+        loaded.push_back(joins_.create(JoinState{0, nullptr}));
+        GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kForkJoinJob);
+      }
+      return loaded[idx];
+    };
+    for (auto& branch : branches_) branch.archive_state(ar, {}, branch_dec);
+    std::size_t nj = 0;
+    ar.size_value(nj);
+    if (nj != loaded.size()) {
+      throw std::runtime_error("snapshot: fork-join join table disagrees with branch shares");
+    }
+    for (JoinState* join : loaded) {
+      std::uint32_t outstanding = 0;
+      ar.u32(outstanding);
+      join->outstanding = outstanding;
+      std::uint64_t code = 0;
+      ar.u64(code);
+      join->ctx = dec(code);
+    }
+  }
+  ar.f64(last_utilization_);
+  ar.u64(completed_jobs_);
 }
 
 }  // namespace gdisim

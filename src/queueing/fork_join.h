@@ -34,6 +34,13 @@ class ForkJoinQueue {
   double last_utilization() const { return last_utilization_; }
   std::uint64_t completed_jobs() const { return completed_jobs_; }
 
+  /// Snapshot round trip; enc/dec translate the *external* join contexts
+  /// (the ctx passed to enqueue). In-flight branch shares are re-linked to
+  /// their join records through first-encounter indices over the branch
+  /// queues, so the JobPool-owned JoinStates round-trip without ever
+  /// serializing an address.
+  void archive_state(StateArchive& ar, const JobCtxEncoder& enc, const JobCtxDecoder& dec);
+
  private:
   struct JoinState {
     unsigned outstanding;

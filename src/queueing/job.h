@@ -8,13 +8,22 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 namespace gdisim {
 
+class StateArchive;
+
 /// Opaque owner context attached to a queued job.
 using JobCtx = void*;
+
+/// Snapshot translation between opaque job contexts and stable indices: the
+/// owning component assigns indices (typically first-encounter order over
+/// its JobPool contexts) because only it knows what a ctx points at.
+using JobCtxEncoder = std::function<std::uint64_t(JobCtx)>;
+using JobCtxDecoder = std::function<JobCtx(std::uint64_t)>;
 
 /// Recycling allocator for per-job owner contexts. Queues identify in-flight
 /// jobs by an opaque pointer that must stay stable until completion, so

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/archive.h"
 #include "core/audit.h"
 
 namespace gdisim {
@@ -38,6 +39,71 @@ void PsQueue::admit_waiting() {
     active_.push_back(waiting_.front());
     waiting_.pop_front();
   }
+}
+
+void PsQueue::archive_state(StateArchive& ar, const JobCtxEncoder& enc,
+                            const JobCtxDecoder& dec) {
+  ar.section("ps");
+  const auto rw_jobs = [&](auto& container) {
+    std::size_t n = container.size();
+    ar.size_value(n);
+    if (ar.writing()) {
+      for (QueuedJob& j : container) {
+        ar.f64(j.remaining);
+        std::uint64_t code = enc(j.ctx);
+        ar.u64(code);
+        ar.u64(j.enqueue_seq);
+      }
+    } else {
+      container.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        QueuedJob j;
+        ar.f64(j.remaining);
+        std::uint64_t code = 0;
+        ar.u64(code);
+        j.ctx = dec(code);
+        ar.u64(j.enqueue_seq);
+        container.push_back(j);
+        GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kPsJob);
+      }
+    }
+  };
+  rw_jobs(active_);
+  rw_jobs(waiting_);
+  if (ar.reading()) {
+    // A scenario fork may have lowered the admission cap.
+    while (active_.size() > max_concurrent_) {
+      waiting_.push_front(active_.back());
+      active_.pop_back();
+    }
+  }
+  std::size_t pipe = latency_pipe_.size();
+  ar.size_value(pipe);
+  if (ar.writing()) {
+    for (LatencyJob& j : latency_pipe_) {
+      ar.f64(j.remaining_delay);
+      std::uint64_t code = enc(j.ctx);
+      ar.u64(code);
+      ar.u64(j.seq);
+    }
+  } else {
+    latency_pipe_.clear();
+    for (std::size_t i = 0; i < pipe; ++i) {
+      LatencyJob j{0.0, nullptr, 0};
+      ar.f64(j.remaining_delay);
+      std::uint64_t code = 0;
+      ar.u64(code);
+      j.ctx = dec(code);
+      ar.u64(j.seq);
+      latency_pipe_.push_back(j);
+      GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kPsJob);
+    }
+  }
+  ar.u64(seq_);
+  ar.f64(last_utilization_);
+  ar.f64(busy_seconds_);
+  ar.f64(elapsed_seconds_);
+  ar.u64(completed_jobs_);
 }
 
 AdvanceResult PsQueue::advance(double dt) {

@@ -59,6 +59,20 @@ class PsQueue {
   double elapsed_seconds() const { return elapsed_seconds_; }
   std::uint64_t completed_jobs() const { return completed_jobs_; }
 
+  /// Snapshot round trip; see FcfsMultiServerQueue::archive_state for the
+  /// enc/dec contract. Order: active set, waiting line, latency pipe. If a
+  /// scenario fork lowered the admission cap, restored overflow jobs spill
+  /// from the active set back onto the waiting line.
+  void archive_state(StateArchive& ar, const JobCtxEncoder& enc, const JobCtxDecoder& dec);
+
+  /// Calls fn(ctx) for every in-flight context, in archive order.
+  template <typename Fn>
+  void for_each_ctx(Fn&& fn) const {
+    for (const QueuedJob& j : active_) fn(j.ctx);
+    for (const QueuedJob& j : waiting_) fn(j.ctx);
+    for (const LatencyJob& j : latency_pipe_) fn(j.ctx);
+  }
+
  private:
   struct LatencyJob {
     double remaining_delay;

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "core/archive.h"
+#include "sim/snapshot.h"
+
 namespace gdisim {
 
 GdiSimulator::GdiSimulator(Scenario scenario, SimulatorConfig config)
@@ -34,6 +37,33 @@ GdiSimulator::GdiSimulator(Scenario scenario, SimulatorConfig config)
 
 void GdiSimulator::run_for(double seconds) {
   loop_->run_for_seconds(seconds);
+}
+
+void GdiSimulator::run_until_seconds(double seconds) {
+  const Tick end = loop_->clock().to_ticks(seconds);
+  if (end > loop_->now()) loop_->run_until(end);
+}
+
+void GdiSimulator::checkpoint(const std::string& path) {
+  StateArchive ar(StateArchive::Mode::kWrite);
+  archive_simulation(ar, scenario_, *loop_, *collector_);
+  ar.write_to_file(path);
+}
+
+void GdiSimulator::restore(const std::string& path) {
+  StateArchive ar = StateArchive::read_file(path);
+  archive_simulation(ar, scenario_, *loop_, *collector_);
+}
+
+std::vector<std::uint8_t> GdiSimulator::save_state() {
+  StateArchive ar(StateArchive::Mode::kWrite);
+  archive_simulation(ar, scenario_, *loop_, *collector_);
+  return ar.payload();
+}
+
+void GdiSimulator::load_state(const std::vector<std::uint8_t>& payload) {
+  StateArchive ar = StateArchive::reader(payload);
+  archive_simulation(ar, scenario_, *loop_, *collector_);
 }
 
 }  // namespace gdisim

@@ -6,7 +6,10 @@
 // utilization per link — all sampled by the collector.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "config/scenarios.h"
 #include "core/h_dispatch.h"
@@ -34,6 +37,25 @@ class GdiSimulator {
 
   /// Advances the simulation by the given number of simulated seconds.
   void run_for(double seconds);
+
+  /// Runs until the given *absolute* simulated time (no-op if already past).
+  /// Restored runs use this so a checkpoint→restore→continue sequence lands
+  /// on exactly the same end tick as the uninterrupted run.
+  void run_until_seconds(double seconds);
+
+  /// Saves the complete simulation state to `path` (DESIGN.md §8). Safe at
+  /// any point where no agent phase is executing — i.e. between run calls.
+  void checkpoint(const std::string& path);
+
+  /// Replaces this simulator's state with the snapshot at `path`. The
+  /// simulator must have been built from a structurally identical scenario
+  /// (rates/intervals may differ — warm-start forking); throws
+  /// std::runtime_error with a line diff otherwise.
+  void restore(const std::string& path);
+
+  /// In-memory snapshot/restore (scenario forking without touching disk).
+  std::vector<std::uint8_t> save_state();
+  void load_state(const std::vector<std::uint8_t>& payload);
 
   double now_seconds() const { return loop_->now_seconds(); }
   Scenario& scenario() { return scenario_; }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/archive.h"
 #include "hardware/datacenter.h"
 #include "software/resource.h"
 
@@ -84,6 +85,61 @@ struct CascadeSpec {
     return n;
   }
 };
+
+/// Full snapshot round trip of a dynamically-built cascade (background
+/// daemons synthesize their specs at launch time, so a restored run cannot
+/// look its spec up in any catalog).
+inline void archive_resource_vector(StateArchive& ar, ResourceVector& r) {
+  ar.f64(r.cpu_cycles);
+  ar.f64(r.net_bytes);
+  ar.f64(r.mem_bytes);
+  ar.f64(r.disk_bytes);
+}
+
+inline void archive_endpoint(StateArchive& ar, Endpoint& ep) {
+  std::uint8_t role = static_cast<std::uint8_t>(ep.role);
+  ar.u8(role);
+  ep.role = static_cast<Role>(role);
+  std::uint8_t dc = static_cast<std::uint8_t>(ep.dc);
+  ar.u8(dc);
+  ep.dc = static_cast<DcSelector>(dc);
+  ar.u32(ep.explicit_dc);
+}
+
+inline void archive_cascade_spec(StateArchive& ar, CascadeSpec& spec) {
+  ar.section("cascade");
+  ar.str(spec.name);
+  std::size_t nsteps = spec.steps.size();
+  ar.size_value(nsteps);
+  if (ar.reading()) spec.steps.resize(nsteps);
+  for (Step& step : spec.steps) {
+    ar.u32(step.repeat);
+    std::size_t nbranches = step.branches.size();
+    ar.size_value(nbranches);
+    if (ar.reading()) step.branches.resize(nbranches);
+    for (Sequence& seq : step.branches) {
+      std::size_t nmsgs = seq.messages.size();
+      ar.size_value(nmsgs);
+      if (ar.reading()) seq.messages.resize(nmsgs);
+      for (MessageSpec& m : seq.messages) {
+        archive_endpoint(ar, m.from);
+        archive_endpoint(ar, m.to);
+        archive_resource_vector(ar, m.fixed);
+        archive_resource_vector(ar, m.per_mb);
+        bool has_override = m.size_mb_override.has_value();
+        ar.boolean(has_override);
+        if (has_override) {
+          double v = ar.writing() ? *m.size_mb_override : 0.0;
+          ar.f64(v);
+          if (ar.reading()) m.size_mb_override = v;
+        } else if (ar.reading()) {
+          m.size_mb_override.reset();
+        }
+        ar.u32(m.cpu_parallelism);
+      }
+    }
+  }
+}
 
 /// Fluent builder for the common single-branch cascade shapes.
 class CascadeBuilder {

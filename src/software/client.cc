@@ -81,18 +81,24 @@ void ClientPopulation::launch(std::size_t slot_idx, Tick now) {
   params.launcher_id = id();
   params.rng_seed = stable_hash(config_.name) ^ (params.instance_serial * 0x9e3779b97f4a7c15ULL);
 
-  auto instance = std::make_unique<OperationInstance>(
+  auto instance = make_instance(op_name, params, slot_idx);
+  OperationInstance* raw = instance.get();
+  live_.emplace(params.instance_serial, LiveOp{std::move(instance), slot_idx});
+  slots_[slot_idx].busy = true;
+  ++active_;
+  if (recorder_) recorder_(clock_.to_seconds(now), op_name, config_.dc, owner, size_mb);
+  raw->start(now);
+}
+
+std::unique_ptr<OperationInstance> ClientPopulation::make_instance(const std::string& op_name,
+                                                                   LaunchParams params,
+                                                                   std::size_t slot_idx) {
+  return std::make_unique<OperationInstance>(
       catalog_->get(op_name), *ctx_, params,
       [this, slot_idx](OperationInstance& inst, Tick end_tick) {
         completions_.post(end_tick, id(), inst.params().instance_serial,
                           CompletionMsg{&inst, slot_idx, end_tick});
       });
-  OperationInstance* raw = instance.get();
-  live_.emplace(params.instance_serial, std::move(instance));
-  slots_[slot_idx].busy = true;
-  ++active_;
-  if (recorder_) recorder_(clock_.to_seconds(now), op_name, config_.dc, owner, size_mb);
-  raw->start(now);
 }
 
 void ClientPopulation::on_interactions(Tick now) {
@@ -115,6 +121,114 @@ void ClientPopulation::on_interactions(Tick now) {
     --active_;
     live_.erase(msg.instance->params().instance_serial);
   }
+}
+
+namespace {
+
+/// std::map keeps the byte stream in key order on both directions.
+template <typename T>
+void archive_stats_map(StateArchive& ar, std::map<std::string, T>& m) {
+  std::size_t n = m.size();
+  ar.size_value(n);
+  if (ar.writing()) {
+    for (auto& [name, value] : m) {
+      std::string key = name;
+      ar.str(key);
+      value.archive_state(ar);
+    }
+  } else {
+    m.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string key;
+      ar.str(key);
+      m[key].archive_state(ar);
+    }
+  }
+}
+
+}  // namespace
+
+void ClientPopulation::archive_state(StateArchive& ar, HandlerRegistry& reg) {
+  Agent::archive_state(ar, reg);
+  ar.section("population");
+  rng_.archive_state(ar);
+  std::size_t nslots = slots_.size();
+  ar.size_value(nslots);
+  ar.expect_equal(nslots, slots_.size(), "client slot count");
+  for (Slot& slot : slots_) {
+    ar.i64(slot.ready_at);
+    ar.boolean(slot.busy);
+    ar.u32(slot.script_pos);
+  }
+  ar.i64(next_scan_);
+  ar.u64(next_serial_);
+  ar.size_value(logged_in_);
+  ar.size_value(active_);
+  ar.u64(completed_);
+
+  // Live operations travel sorted by serial. Every instance is (re)bound in
+  // the handler registry under (launcher id, serial) before any component
+  // archives the queue entries that point at it.
+  std::size_t nlive = live_.size();
+  ar.size_value(nlive);
+  if (ar.writing()) {
+    std::vector<std::uint64_t> serials;
+    serials.reserve(live_.size());
+    for (auto& [serial, op] : live_) serials.push_back(serial);
+    std::sort(serials.begin(), serials.end());
+    for (std::uint64_t serial : serials) {
+      LiveOp& op = live_.at(serial);
+      std::uint64_t s = serial;
+      ar.u64(s);
+      std::string op_name = op.instance->op_name();
+      ar.str(op_name);
+      std::uint32_t owner = op.instance->params().owner_dc;
+      ar.u32(owner);
+      double size_mb = op.instance->params().size_mb;
+      ar.f64(size_mb);
+      ar.size_value(op.slot);
+      reg.bind(id(), serial, op.instance.get());
+      op.instance->archive_state(ar, reg);
+    }
+  } else {
+    live_.clear();
+    for (std::size_t i = 0; i < nlive; ++i) {
+      std::uint64_t serial = 0;
+      ar.u64(serial);
+      std::string op_name;
+      ar.str(op_name);
+      std::uint32_t owner = kInvalidDc;
+      ar.u32(owner);
+      double size_mb = 0.0;
+      ar.f64(size_mb);
+      std::size_t slot_idx = 0;
+      ar.size_value(slot_idx);
+      LaunchParams params;
+      params.origin_dc = config_.dc;
+      params.owner_dc = owner;
+      params.size_mb = size_mb;
+      params.instance_serial = serial;
+      params.launcher_id = id();
+      params.rng_seed = stable_hash(config_.name) ^ (serial * 0x9e3779b97f4a7c15ULL);
+      auto instance = make_instance(op_name, params, slot_idx);
+      reg.bind(id(), serial, instance.get());
+      instance->archive_state(ar, reg);
+      live_.emplace(serial, LiveOp{std::move(instance), slot_idx});
+    }
+  }
+
+  // Pending completion messages re-link their instance pointer through the
+  // freshly-rebuilt live table.
+  completions_.archive_state(ar, [this](StateArchive& a, CompletionMsg& msg) {
+    std::uint64_t serial = a.writing() ? msg.instance->params().instance_serial : 0;
+    a.u64(serial);
+    a.size_value(msg.slot);
+    a.i64(msg.end_tick);
+    if (a.reading()) msg.instance = live_.at(serial).instance.get();
+  });
+
+  archive_stats_map(ar, stats_);
+  archive_stats_map(ar, binned_);
 }
 
 SeriesLauncher::SeriesLauncher(SeriesLauncherConfig config, const OperationCatalog& catalog,
@@ -148,15 +262,75 @@ void SeriesLauncher::launch_op(OperationInstance* /*prev*/, Run run, Tick now) {
   params.launcher_id = id();
   params.rng_seed = stable_hash(config_.name) ^ (params.instance_serial * 0x9e3779b97f4a7c15ULL);
 
-  auto instance = std::make_unique<OperationInstance>(
+  auto instance = make_instance(so, params);
+  OperationInstance* raw = instance.get();
+  live_.emplace(params.instance_serial, LiveOp{std::move(instance), run});
+  raw->start(now);
+}
+
+std::unique_ptr<OperationInstance> SeriesLauncher::make_instance(const SeriesOp& so,
+                                                                 LaunchParams params) {
+  return std::make_unique<OperationInstance>(
       catalog_->get(so.op), *ctx_, params,
       [this](OperationInstance& inst, Tick end_tick) {
         completions_.post(end_tick, id(), inst.params().instance_serial,
                           CompletionMsg{&inst, end_tick});
       });
-  OperationInstance* raw = instance.get();
-  live_.emplace(params.instance_serial, LiveOp{std::move(instance), run});
-  raw->start(now);
+}
+
+void SeriesLauncher::archive_state(StateArchive& ar, HandlerRegistry& reg) {
+  Agent::archive_state(ar, reg);
+  ar.section("series_launcher");
+  rng_.archive_state(ar);
+  ar.i64(next_launch_);
+  ar.u64(next_serial_);
+  ar.u64(series_completed_);
+
+  std::size_t nlive = live_.size();
+  ar.size_value(nlive);
+  if (ar.writing()) {
+    std::vector<std::uint64_t> serials;
+    serials.reserve(live_.size());
+    for (auto& [serial, op] : live_) serials.push_back(serial);
+    std::sort(serials.begin(), serials.end());
+    for (std::uint64_t serial : serials) {
+      LiveOp& op = live_.at(serial);
+      std::uint64_t s = serial;
+      ar.u64(s);
+      ar.size_value(op.run.next_op);
+      reg.bind(id(), serial, op.instance.get());
+      op.instance->archive_state(ar, reg);
+    }
+  } else {
+    live_.clear();
+    for (std::size_t i = 0; i < nlive; ++i) {
+      std::uint64_t serial = 0;
+      ar.u64(serial);
+      Run run;
+      ar.size_value(run.next_op);
+      const SeriesOp& so = config_.series.at(run.next_op);
+      LaunchParams params;
+      params.origin_dc = config_.dc;
+      params.owner_dc = kInvalidDc;
+      params.size_mb = so.size_mb;
+      params.instance_serial = serial;
+      params.launcher_id = id();
+      params.rng_seed = stable_hash(config_.name) ^ (serial * 0x9e3779b97f4a7c15ULL);
+      auto instance = make_instance(so, params);
+      reg.bind(id(), serial, instance.get());
+      instance->archive_state(ar, reg);
+      live_.emplace(serial, LiveOp{std::move(instance), run});
+    }
+  }
+
+  completions_.archive_state(ar, [this](StateArchive& a, CompletionMsg& msg) {
+    std::uint64_t serial = a.writing() ? msg.instance->params().instance_serial : 0;
+    a.u64(serial);
+    a.i64(msg.end_tick);
+    if (a.reading()) msg.instance = live_.at(serial).instance.get();
+  });
+
+  archive_stats_map(ar, stats_);
 }
 
 void SeriesLauncher::on_interactions(Tick now) {

@@ -48,6 +48,14 @@ struct OpStats {
     sum_sq += s * s;
   }
   double mean() const { return count ? total_s / static_cast<double>(count) : 0.0; }
+
+  void archive_state(StateArchive& ar) {
+    ar.u64(count);
+    ar.f64(total_s);
+    ar.f64(min_s);
+    ar.f64(max_s);
+    ar.f64(sum_sq);
+  }
 };
 
 /// Mean response time per (operation, half-hour-of-day bin).
@@ -57,6 +65,11 @@ class BinnedResponse {
   void record(double hour_of_day, double seconds);
   /// (bin center hour, mean seconds) for bins with samples.
   std::vector<std::pair<double, double>> series() const;
+
+  void archive_state(StateArchive& ar) {
+    for (auto& s : sum_) ar.f64(s);
+    for (auto& c : count_) ar.u64(c);
+  }
 
  private:
   std::array<double, kBins> sum_{};
@@ -129,6 +142,12 @@ class ClientPopulation final : public Agent {
   const std::map<std::string, BinnedResponse>& binned() const { return binned_; }
   const ClientPopulationConfig& config() const { return config_; }
   std::uint64_t completed_operations() const { return completed_; }
+  std::size_t slot_count() const { return slots_.size(); }
+
+  /// Snapshot round trip: client slots, in-flight operations (rebuilt from
+  /// the catalog and re-bound in the handler registry), pending completions
+  /// (re-linked by instance serial), and response statistics.
+  void archive_state(StateArchive& ar, HandlerRegistry& reg) override;
 
  private:
   struct Slot {
@@ -136,17 +155,25 @@ class ClientPopulation final : public Agent {
     bool busy = false;
     std::uint32_t script_pos = 0;
   };
+  struct LiveOp {
+    std::unique_ptr<OperationInstance> instance;
+    std::size_t slot = 0;  ///< slot the client runs in; needed for restore
+  };
   struct CompletionMsg {
-    OperationInstance* instance;
+    /// Resolved on restore via the instance serial, never serialized.
+    OperationInstance* instance;  // NOLINT(gdisim-snapshot-ptr)
     std::size_t slot;
     Tick end_tick;
   };
 
   void launch(std::size_t slot, Tick now);
+  std::unique_ptr<OperationInstance> make_instance(const std::string& op_name,
+                                                   LaunchParams params, std::size_t slot_idx);
 
   ClientPopulationConfig config_;
-  const OperationCatalog* catalog_;
-  OperationContext* ctx_;
+  // Construction-time wiring, identical in the restored process.
+  const OperationCatalog* catalog_;  // NOLINT(gdisim-snapshot-ptr)
+  OperationContext* ctx_;            // NOLINT(gdisim-snapshot-ptr)
   TickClock clock_;
   Rng rng_;
   OwnerSampler owner_sampler_;
@@ -156,7 +183,7 @@ class ClientPopulation final : public Agent {
   Tick next_scan_ = 0;
   /// In-flight operations keyed by instance serial — a stable id, never an
   /// address, so no container state depends on allocation order.
-  std::unordered_map<std::uint64_t, std::unique_ptr<OperationInstance>> live_;
+  std::unordered_map<std::uint64_t, LiveOp> live_;
   Inbox<CompletionMsg> completions_;
   std::uint64_t next_serial_ = 0;
   std::size_t logged_in_ = 0;
@@ -202,6 +229,9 @@ class SeriesLauncher final : public Agent {
   std::uint64_t series_completed() const { return series_completed_; }
   const std::map<std::string, OpStats>& stats() const { return stats_; }
 
+  /// Snapshot round trip; live series are rebuilt from (serial, next_op).
+  void archive_state(StateArchive& ar, HandlerRegistry& reg) override;
+
  private:
   struct Run {
     std::size_t next_op = 0;
@@ -211,15 +241,18 @@ class SeriesLauncher final : public Agent {
     Run run;
   };
   struct CompletionMsg {
-    OperationInstance* instance;
+    /// Resolved on restore via the instance serial, never serialized.
+    OperationInstance* instance;  // NOLINT(gdisim-snapshot-ptr)
     Tick end_tick;
   };
 
   void launch_op(OperationInstance* prev, Run run, Tick now);
+  std::unique_ptr<OperationInstance> make_instance(const SeriesOp& so, LaunchParams params);
 
   SeriesLauncherConfig config_;
-  const OperationCatalog* catalog_;
-  OperationContext* ctx_;
+  // Construction-time wiring, identical in the restored process.
+  const OperationCatalog* catalog_;  // NOLINT(gdisim-snapshot-ptr)
+  OperationContext* ctx_;            // NOLINT(gdisim-snapshot-ptr)
   TickClock clock_;
   Rng rng_;
   Tick next_launch_ = 0;

@@ -156,6 +156,66 @@ void OperationInstance::finish_branch(Tick now) {
   if (done_) done_(*this, now + 1);
 }
 
+void OperationInstance::archive_state(StateArchive& ar, HandlerRegistry& reg) {
+  ar.section("op_instance");
+  ar.i64(start_tick_);
+  ar.size_value(step_idx_);
+  std::uint32_t repeats = repeats_left_;
+  ar.u32(repeats);
+  repeats_left_ = repeats;
+  std::uint32_t outstanding = branches_outstanding_.load(std::memory_order_relaxed);
+  ar.u32(outstanding);
+  branches_outstanding_.store(outstanding, std::memory_order_relaxed);
+
+  // A finished instance parked in its launcher's completion inbox has
+  // step_idx_ == steps.size() and no live branches; its kOperation spawn was
+  // already balanced by a completion before the snapshot, so it is not
+  // re-counted on read.
+  const bool finished = step_idx_ >= spec_->steps.size();
+  std::size_t nb = finished ? 0 : spec_->steps[step_idx_].branches.size();
+  ar.size_value(nb);
+  if (ar.reading()) {
+    if (!finished) {
+      ar.expect_equal(nb, spec_->steps[step_idx_].branches.size(), "cascade branch count");
+      GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kOperation);
+    }
+    // Exact-size the branch vector (it only ever grows during a run) so a
+    // re-snapshot of the restored instance is byte-identical.
+    branches_.resize(nb);
+  }
+  for (std::size_t b = 0; b < nb; ++b) {
+    BranchState& br = branches_[b];
+    if (ar.reading()) br.sequence = &spec_->steps[step_idx_].branches[b];
+    ar.size_value(br.msg_idx);
+    ar.size_value(br.stage_idx);
+    ar.u32(br.local_seq);
+    bool holds_memory = br.held_memory != nullptr;
+    ar.boolean(holds_memory);
+    if (holds_memory) {
+      AgentId key = ar.writing() ? reg.memory_key(br.held_memory) : kInvalidAgent;
+      ar.u32(key);
+      if (ar.reading()) br.held_memory = reg.resolve_memory(key);
+    } else if (ar.reading()) {
+      br.held_memory = nullptr;
+    }
+    ar.f64(br.held_bytes);
+    br.rng.archive_state(ar);
+    std::size_t nstages = br.stages.size();
+    ar.size_value(nstages);
+    if (ar.reading()) br.stages.resize(nstages);
+    for (std::size_t s = 0; s < nstages; ++s) {
+      Stage& stage = br.stages[s];
+      AgentId target = ar.writing() ? stage.target->id() : kInvalidAgent;
+      ar.u32(target);
+      if (ar.reading()) stage.target = static_cast<Component*>(reg.resolve_agent(target));
+      ar.f64(stage.work);
+      std::uint32_t parallelism = stage.parallelism;
+      ar.u32(parallelism);
+      stage.parallelism = parallelism;
+    }
+  }
+}
+
 void OperationInstance::build_route(const MessageSpec& m, BranchState& br, Tick now) {
   const double size_mb = m.size_mb_override.value_or(params_.size_mb);
   const ResourceVector cost = m.fixed + m.per_mb * size_mb;

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/archive.h"
 #include "core/rng.h"
 #include "core/types.h"
 #include "hardware/topology.h"
@@ -91,19 +92,30 @@ class OperationInstance final : public StageCompletionHandler {
     return clock.to_seconds(end_tick - start_tick_);
   }
 
+  /// Snapshot round trip of the cascade walk: step/repeat position and each
+  /// live branch (message/stage cursor, pending route, held memory, RNG
+  /// stream). Pointers travel as stable ids — stage targets as AgentIds,
+  /// held memory as its server key, the sequence as the step/branch index.
+  /// On read the instance must be freshly constructed and NOT started;
+  /// start() is replaced by this call.
+  void archive_state(StateArchive& ar, HandlerRegistry& reg);
+
  private:
   struct Stage {
-    Component* target = nullptr;
+    /// Snapshots travel as the component's AgentId, never as an address.
+    Component* target = nullptr;  // NOLINT(gdisim-snapshot-ptr)
     double work = 0.0;
     unsigned parallelism = 1;
   };
   struct BranchState {
-    const Sequence* sequence = nullptr;
+    /// Re-derived on restore from (step_idx_, branch index) into the spec.
+    const Sequence* sequence = nullptr;  // NOLINT(gdisim-snapshot-ptr)
     std::size_t msg_idx = 0;
     std::vector<Stage> stages;
     std::size_t stage_idx = 0;
     std::uint32_t local_seq = 0;
-    MemoryComponent* held_memory = nullptr;
+    /// Snapshots travel as the owning server's key, never as an address.
+    MemoryComponent* held_memory = nullptr;  // NOLINT(gdisim-snapshot-ptr)
     double held_bytes = 0.0;
     Rng rng{0};
   };
@@ -119,8 +131,9 @@ class OperationInstance final : public StageCompletionHandler {
   /// ("instant") work accounted against bypassed components.
   void build_route(const MessageSpec& m, BranchState& branch, Tick now);
 
-  const CascadeSpec* spec_;
-  OperationContext* ctx_;
+  // Construction-time wiring, identical in the restored process.
+  const CascadeSpec* spec_;  // NOLINT(gdisim-snapshot-ptr)
+  OperationContext* ctx_;    // NOLINT(gdisim-snapshot-ptr)
   LaunchParams params_;
   DoneFn done_;
   std::size_t step_idx_ = 0;

@@ -92,15 +92,87 @@ void TraceLauncher::on_tick(Tick now) {
     params.launcher_id = id();
     params.rng_seed = seed_ ^ (static_cast<std::uint64_t>(cursor_) * 0x9e3779b97f4a7c15ULL);
 
-    auto instance = std::make_unique<OperationInstance>(
-        catalog_->get(e.op), *ctx_, params, [this](OperationInstance& inst, Tick end_tick) {
-          completions_.post(end_tick, id(), inst.params().instance_serial,
-                            CompletionMsg{&inst, end_tick});
-        });
+    auto instance = make_instance(e, params);
     OperationInstance* raw = instance.get();
     live_.emplace(params.instance_serial, std::move(instance));
     raw->start(now);
     ++cursor_;
+  }
+}
+
+std::unique_ptr<OperationInstance> TraceLauncher::make_instance(const TraceEntry& e,
+                                                                LaunchParams params) {
+  return std::make_unique<OperationInstance>(
+      catalog_->get(e.op), *ctx_, params, [this](OperationInstance& inst, Tick end_tick) {
+        completions_.post(end_tick, id(), inst.params().instance_serial,
+                          CompletionMsg{&inst, end_tick});
+      });
+}
+
+void TraceLauncher::archive_state(StateArchive& ar, HandlerRegistry& reg) {
+  Agent::archive_state(ar, reg);
+  ar.section("trace_launcher");
+  ar.size_value(cursor_);
+  ar.u64(completed_);
+
+  std::size_t nlive = live_.size();
+  ar.size_value(nlive);
+  if (ar.writing()) {
+    std::vector<std::uint64_t> serials;
+    serials.reserve(live_.size());
+    for (auto& [serial, op] : live_) serials.push_back(serial);
+    std::sort(serials.begin(), serials.end());
+    for (std::uint64_t serial : serials) {
+      std::uint64_t s = serial;
+      ar.u64(s);
+      OperationInstance* instance = live_.at(serial).get();
+      reg.bind(id(), serial, instance);
+      instance->archive_state(ar, reg);
+    }
+  } else {
+    live_.clear();
+    for (std::size_t i = 0; i < nlive; ++i) {
+      std::uint64_t serial = 0;
+      ar.u64(serial);
+      // The serial is the cursor position the entry was launched from, so
+      // every launch parameter comes straight back out of the trace.
+      const TraceEntry& e = trace_->entries().at(serial);
+      LaunchParams params;
+      params.origin_dc = e.origin;
+      params.owner_dc = e.owner;
+      params.size_mb = e.size_mb;
+      params.instance_serial = serial;
+      params.launcher_id = id();
+      params.rng_seed = seed_ ^ (serial * 0x9e3779b97f4a7c15ULL);
+      auto instance = make_instance(e, params);
+      reg.bind(id(), serial, instance.get());
+      instance->archive_state(ar, reg);
+      live_.emplace(serial, std::move(instance));
+    }
+  }
+
+  completions_.archive_state(ar, [this](StateArchive& a, CompletionMsg& msg) {
+    std::uint64_t serial = a.writing() ? msg.instance->params().instance_serial : 0;
+    a.u64(serial);
+    a.i64(msg.end_tick);
+    if (a.reading()) msg.instance = live_.at(serial).get();
+  });
+
+  std::size_t nstats = stats_.size();
+  ar.size_value(nstats);
+  if (ar.writing()) {
+    for (auto& [name, s] : stats_) {
+      std::string key = name;
+      ar.str(key);
+      s.archive_state(ar);
+    }
+  } else {
+    stats_.clear();
+    for (std::size_t i = 0; i < nstats; ++i) {
+      std::string key;
+      ar.str(key);
+      stats_[key].archive_state(ar);
+    }
   }
 }
 

@@ -91,15 +91,23 @@ class TraceLauncher final : public Agent {
   std::uint64_t completed() const { return completed_; }
   const std::map<std::string, OpStats>& stats() const { return stats_; }
 
+  /// Snapshot round trip; live operations are rebuilt from their trace
+  /// cursor position (the instance serial IS the cursor index).
+  void archive_state(StateArchive& ar, HandlerRegistry& reg) override;
+
  private:
   struct CompletionMsg {
-    OperationInstance* instance;
+    /// Resolved on restore via the instance serial, never serialized.
+    OperationInstance* instance;  // NOLINT(gdisim-snapshot-ptr)
     Tick end_tick;
   };
 
-  const WorkloadTrace* trace_;
-  const OperationCatalog* catalog_;
-  OperationContext* ctx_;
+  std::unique_ptr<OperationInstance> make_instance(const TraceEntry& e, LaunchParams params);
+
+  // Construction-time wiring, identical in the restored process.
+  const WorkloadTrace* trace_;       // NOLINT(gdisim-snapshot-ptr)
+  const OperationCatalog* catalog_;  // NOLINT(gdisim-snapshot-ptr)
+  OperationContext* ctx_;            // NOLINT(gdisim-snapshot-ptr)
   TickClock clock_;
   std::uint64_t seed_;
   std::size_t cursor_ = 0;

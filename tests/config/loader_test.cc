@@ -94,11 +94,46 @@ TEST(Loader, CommentsAndBlankLinesIgnored) {
 TEST(Loader, ErrorsCarryLineNumbers) {
   std::istringstream is("tick 0.02\nbogus_directive 1\n");
   try {
-    load_scenario(is);
+    load_scenario(is, "sample.gdisim");
     FAIL() << "expected throw";
   } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
-    EXPECT_NE(std::string(e.what()).find("bogus_directive"), std::string::npos);
+    // Editor-friendly "<source>:<line>:" prefix plus the offending token.
+    EXPECT_NE(std::string(e.what()).find("sample.gdisim:2:"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("bogus_directive"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Loader, ErrorsQuoteOffendingToken) {
+  struct Case {
+    const char* body;
+    const char* want;  // substring the message must contain
+  };
+  const Case cases[] = {
+      {"tick nope\n", "<stream>:1:"},
+      {"tick nope\n", "'nope'"},
+      {"tick -1\ndatacenter A\nend\n", "'-1'"},
+      {"datacenter A\n tier fs 1.5 1 1\nend\n", "'1.5'"},
+      {"datacenter A\n weird 1\nend\n", "'weird'"},
+      {"datacenter A\n san 1 4 15000\n tier fs 1 1 1\nend\npopulation P NOPE CAD 5\nend\n",
+       "unknown datacenter 'NOPE'"},
+  };
+  for (const Case& c : cases) {
+    std::istringstream is(c.body);
+    try {
+      load_scenario(is);
+      FAIL() << "expected throw for: " << c.body;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.want), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << c.want << "'";
+    }
+  }
+}
+
+TEST(Loader, FileErrorsCarryThePath) {
+  try {
+    load_scenario_file(GDISIM_SOURCE_DIR "/configs/two_site.gdisim");
+  } catch (...) {
+    FAIL() << "sample config should parse";
   }
 }
 

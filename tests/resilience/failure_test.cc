@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "config/builder.h"
 #include "core/engine.h"
+#include "hardware/component.h"
 
 namespace gdisim {
 namespace {
@@ -136,6 +140,90 @@ TEST(FailureInjector, EventsApplyAtTheScheduledTick) {
 TEST(Topology, SetUsableOnUnknownLinkThrows) {
   FailoverWorld world;
   EXPECT_THROW(world.topology->set_link_usable(world.eu, world.eu, false), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Failures interacting with quiesced (kNeverTick) agents under the
+// active-set scheduler: a component that has been parked since registration
+// must still serve work that arrives after a failover routes traffic to it.
+
+struct StageRecorder final : StageCompletionHandler {
+  std::vector<std::pair<Tick, std::uint64_t>> done;
+  void on_stage_complete(Component& /*at*/, Tick now, std::uint64_t tag) override {
+    done.emplace_back(now, tag);
+  }
+};
+
+/// Stays in the active set until it has sent its one job, then parks itself.
+class OneShotSender final : public Agent {
+ public:
+  OneShotSender(Component* target, Tick send_at, double work, StageCompletionHandler* handler)
+      : target_(target), send_at_(send_at), work_(work), handler_(handler) {}
+
+  void on_tick(Tick now) override {
+    if (!sent_ && now >= send_at_) {
+      target_->submit(now + 1, id(), next_send_seq(), StageJob{work_, handler_, 99, 1});
+      sent_ = true;
+    }
+  }
+  Tick next_wake_tick(Tick next_now) const override { return sent_ ? kNeverTick : next_now; }
+
+ private:
+  Component* target_;
+  Tick send_at_;
+  double work_;
+  StageCompletionHandler* handler_;
+  bool sent_ = false;
+};
+
+TEST(FailureInjector, TrafficAfterFailoverWakesParkedBackupLink) {
+  FailoverWorld world;
+  ASSERT_EQ(world.loop->scheduler_mode(), SchedulerMode::kActiveSet);
+
+  // The backup link EU->AFR has never carried a job: it is parked
+  // (kNeverTick) from the first iteration. Fail the primary over to it,
+  // then submit a transfer after the failover tick.
+  FailureInjector injector(*world.topology);
+  injector.schedule(FailureEvent::link_down(0.5, world.na, world.afr));
+  injector.schedule(FailureEvent::link_up(0.5, world.eu, world.afr));
+  injector.install(*world.loop);
+
+  LinkComponent* backup = world.topology->link(world.eu, world.afr);
+  ASSERT_NE(backup, nullptr);
+  StageRecorder rec;
+  OneShotSender sender(backup, world.loop->clock().to_ticks(0.7), 1000.0, &rec);
+  sender.set_name("test/sender");
+  world.loop->add_agent(&sender);
+
+  world.loop->run_for_seconds(1.5);
+
+  // The delivery must have woken the parked component and been served.
+  ASSERT_EQ(rec.done.size(), 1u);
+  EXPECT_EQ(rec.done[0].second, 99u);
+  EXPECT_EQ(backup->queue_length(), 0u);
+}
+
+TEST(FailureInjector, ServerEventsOnParkedServerDoNotLoseLaterWork) {
+  FailoverWorld world;
+  Tier* app = world.topology->dc(world.na).tier(TierKind::App);
+
+  // Server 0 crashes and recovers while completely idle (its components are
+  // parked the whole time). Work submitted after recovery must be served.
+  FailureInjector injector(*world.topology);
+  injector.schedule(FailureEvent::server_down(0.2, world.na, TierKind::App, 0));
+  injector.schedule(FailureEvent::server_up(0.4, world.na, TierKind::App, 0));
+  injector.install(*world.loop);
+
+  StageRecorder rec;
+  OneShotSender sender(&app->server(0).cpu(), world.loop->clock().to_ticks(0.6), 1e6, &rec);
+  sender.set_name("test/sender");
+  world.loop->add_agent(&sender);
+
+  world.loop->run_for_seconds(1.5);
+
+  EXPECT_TRUE(app->server_alive(0));
+  ASSERT_EQ(rec.done.size(), 1u);
+  EXPECT_EQ(rec.done[0].second, 99u);
 }
 
 }  // namespace

@@ -12,6 +12,9 @@
 #            notice when clang-tidy is not installed)
 #   smoke    determinism smoke: diff release fingerprints of the consolidated
 #            scenario between a -j1 and a -jN run (builds `release` if needed)
+#   snapshot checkpoint/restore equivalence: a run that checkpoints mid-flight
+#            and a fresh process that restores the snapshot must both produce
+#            the uninterrupted run's fingerprint (release and audit binaries)
 #   release/audit/asan/tsan   CMake presets: configure + build + ctest
 #
 # Sanitizer suites run the full tier-1 ctest set; on small hosts expect the
@@ -22,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(lint release audit smoke asan tsan)
+  LEGS=(lint release audit smoke snapshot asan tsan)
 fi
 
 JOBS="${JOBS:-$(nproc)}"
@@ -97,11 +100,56 @@ run_smoke() {
   echo "smoke: fingerprints identical across thread counts and scheduler modes"
 }
 
+snapshot_check() {
+  local preset="$1" bin="$2"
+  local config="${SNAPSHOT_CONFIG:-configs/two_site.gdisim}"
+  local workdir
+  workdir=$(mktemp -d)
+  # Clear the trap as it fires: RETURN traps outlive the function otherwise.
+  trap 'rm -rf "${workdir:-}"; trap - RETURN' RETURN
+  echo "--- [$preset] $config: uninterrupted vs checkpoint->restore ---"
+  local full mid resumed periodic
+  full=$("$bin" --config "$config" --hours 0.2 --quiet --fingerprint | grep '^fingerprint:')
+  # Checkpoint halfway through, then finish the run from a fresh process.
+  mid=$("$bin" --config "$config" --hours 0.1 --quiet --fingerprint \
+        --checkpoint "$workdir/mid.snap" | grep '^fingerprint:')
+  resumed=$("$bin" --config "$config" --restore "$workdir/mid.snap" --hours 0.2 \
+        --quiet --fingerprint | grep '^fingerprint:')
+  # Periodic checkpointing must not perturb the run it observes.
+  periodic=$("$bin" --config "$config" --hours 0.2 --quiet --fingerprint \
+        --checkpoint "$workdir/periodic.snap" --checkpoint-every 120 | grep '^fingerprint:')
+  echo "  full:     $full"
+  echo "  resumed:  $resumed"
+  echo "  periodic: $periodic"
+  if [ "$full" != "$resumed" ]; then
+    echo "snapshot[$preset]: FINGERPRINT MISMATCH — restore diverges from uninterrupted run" >&2
+    return 1
+  fi
+  if [ "$full" != "$periodic" ]; then
+    echo "snapshot[$preset]: FINGERPRINT MISMATCH — periodic checkpointing perturbed the run" >&2
+    return 1
+  fi
+  : "$mid"  # the half-run fingerprint differs by construction; only used for the snapshot
+}
+
+run_snapshot() {
+  echo "=== [snapshot] checkpoint/restore fingerprint equivalence ==="
+  local preset
+  for preset in release audit; do
+    cmake --preset "$preset" >/dev/null
+    cmake --build --preset "$preset" -j "$JOBS" --target gdisim_run >/dev/null
+  done
+  snapshot_check release build/tools/gdisim_run
+  snapshot_check audit build-audit/tools/gdisim_run
+  echo "snapshot: restore and periodic-checkpoint runs match the uninterrupted fingerprint"
+}
+
 for leg in "${LEGS[@]}"; do
   case "$leg" in
     lint) run_lint ;;
     tidy) run_tidy ;;
     smoke) run_smoke ;;
+    snapshot) run_snapshot ;;
     *) run_preset "$leg" ;;
   esac
 done

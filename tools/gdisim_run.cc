@@ -12,6 +12,12 @@
 //   --csv PATH               dump every collector series as CSV
 //   --dense-sweep            disable active-set scheduling (reference oracle)
 //   --quiet                  suppress the summary tables
+//   --validate               parse + build the scenario, report, and exit
+//   --checkpoint PATH        write a snapshot at the end of the run
+//   --checkpoint-every S     also snapshot every S simulated seconds
+//   --restore PATH           start from a snapshot instead of t=0 (the
+//                            scenario must be structurally identical;
+//                            --hours remains the absolute horizon)
 #include <algorithm>
 #include <cstring>
 #include <fstream>
@@ -41,13 +47,18 @@ struct CliOptions {
   bool dense_sweep = false;
   bool quiet = false;
   bool fingerprint = false;
+  bool validate = false;
+  std::string checkpoint_path;
+  double checkpoint_every_s = 0.0;
+  std::string restore_path;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--scenario validation|consolidated|multimaster | --config FILE]\n"
                "       [--experiment N] [--hours H] [--scale S] [--threads N] [--seed N]\n"
-               "       [--csv PATH] [--dense-sweep] [--quiet] [--fingerprint]\n";
+               "       [--csv PATH] [--dense-sweep] [--quiet] [--fingerprint] [--validate]\n"
+               "       [--checkpoint PATH] [--checkpoint-every S] [--restore PATH]\n";
   std::exit(2);
 }
 
@@ -82,6 +93,14 @@ CliOptions parse(int argc, char** argv) {
       opt.quiet = true;
     } else if (arg == "--fingerprint") {
       opt.fingerprint = true;
+    } else if (arg == "--validate") {
+      opt.validate = true;
+    } else if (arg == "--checkpoint") {
+      opt.checkpoint_path = next();
+    } else if (arg == "--checkpoint-every") {
+      opt.checkpoint_every_s = std::atof(next());
+    } else if (arg == "--restore") {
+      opt.restore_path = next();
     } else {
       usage(argv[0]);
     }
@@ -174,6 +193,28 @@ void print_summary(GdiSimulator& sim, double horizon_s) {
 int main(int argc, char** argv) {
   const CliOptions opt = parse(argc, argv);
 
+  if (opt.validate) {
+    // Parse + build only: loader errors carry "<file>:<line>: ..." and the
+    // offending token, so a bad config fails here with an editor-friendly
+    // message instead of minutes into a run.
+    try {
+      Scenario scenario = make_scenario(opt);
+      SimulatorConfig cfg;
+      cfg.threads = 0;
+      GdiSimulator sim(std::move(scenario), cfg);
+      std::cout << "config OK: "
+                << (opt.config_path.empty() ? opt.scenario : opt.config_path) << ": "
+                << sim.loop().agent_count() << " agents, "
+                << sim.scenario().populations.size() << " populations, "
+                << sim.scenario().synchreps.size() << " synchreps, "
+                << sim.scenario().indexbuilds.size() << " indexbuilds\n";
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+  }
+
   std::cout << "GDISim: scenario="
             << (opt.config_path.empty() ? opt.scenario : opt.config_path) << " hours=" << opt.hours
             << " scale=" << opt.scale << " threads=" << opt.threads << " seed=" << opt.seed
@@ -186,8 +227,25 @@ int main(int argc, char** argv) {
   if (opt.dense_sweep) cfg.scheduler = SchedulerMode::kDenseSweep;
   GdiSimulator sim(std::move(scenario), cfg);
 
+  if (!opt.restore_path.empty()) {
+    sim.restore(opt.restore_path);
+    std::cout << "restored " << opt.restore_path << " at t=" << format_sim_time(sim.now_seconds())
+              << "\n";
+  }
+
+  // Absolute horizon: a restored run continues to the same end tick the
+  // uninterrupted run would reach, so fingerprints stay comparable.
   const double horizon_s = opt.hours * 3600.0;
-  sim.run_for(horizon_s);
+  if (!opt.checkpoint_path.empty() && opt.checkpoint_every_s > 0.0) {
+    double next_cp = sim.now_seconds() + opt.checkpoint_every_s;
+    while (next_cp < horizon_s) {
+      sim.run_until_seconds(next_cp);
+      sim.checkpoint(opt.checkpoint_path);
+      next_cp += opt.checkpoint_every_s;
+    }
+  }
+  sim.run_until_seconds(horizon_s);
+  if (!opt.checkpoint_path.empty()) sim.checkpoint(opt.checkpoint_path);
   std::cout << "simulated " << format_sim_time(horizon_s) << " of operation ("
             << sim.loop().now() << " ticks, " << sim.loop().agent_count() << " agents)\n";
   const SchedulerStats& sched = sim.loop().scheduler_stats();

@@ -44,3 +44,24 @@ long wall_clock() {
 const char* env_read() {
   return std::getenv("GDISIM_THREADS");     // gdisim-getenv
 }
+
+class StateArchive;
+
+// Snapshotable (declares an archive method): raw-pointer fields flagged.
+struct SnapshotQueue {
+  Job* head;                                // gdisim-snapshot-ptr
+  int depth = 0;
+  void archive_state(StateArchive& ar);
+  // Nested structs are archived by the enclosing type's method.
+  struct Entry {
+    Job* parent;                            // gdisim-snapshot-ptr
+    double work = 0.0;
+  };
+};
+
+// Snapshotable via a free archive_* function taking it by reference.
+struct WireJob {
+  Job* origin;                              // gdisim-snapshot-ptr
+  long tag = 0;
+};
+void archive_wire_job(StateArchive& ar, WireJob& job);

@@ -21,3 +21,25 @@ void clean_cases() {
   int uptime(int);  // "time(" preceded by letters
   (void)uptime;
 }
+
+class StateArchive;
+
+// Raw-pointer fields are fine in types with no archive path at all.
+struct TransientView {
+  Op* current = nullptr;
+  Op* next = nullptr;
+};
+
+// Snapshotable types may hold smart pointers and plain values freely; only
+// raw-pointer fields need the stable-id treatment. Pointer-returning
+// methods and pointer locals inside method bodies are not fields.
+struct SnapshotClean {
+  std::uint64_t serial = 0;
+  void archive_state(StateArchive& ar);
+  Op* find(std::uint64_t key);
+  int drain() {
+    Op* scratch = nullptr;
+    (void)scratch;
+    return 0;
+  }
+};

@@ -19,3 +19,10 @@ void suppressed_cases() {
   const char* env = std::getenv("HOME");  // NOLINT
   (void)env;
 }
+
+class StateArchive;
+
+struct SnapshotState {
+  Job* owner;  // travels as a stable id  NOLINT(gdisim-snapshot-ptr)
+  void archive_state(StateArchive& ar);
+};

@@ -17,6 +17,11 @@ determinism in the simulator:
                           steady_clock, high_resolution_clock, time(),
                           gettimeofday, clock_gettime, localtime, gmtime)
   gdisim-getenv           getenv in sim code (behaviour varies by environment)
+  gdisim-snapshot-ptr     raw-pointer field in a snapshotable type (one whose
+                          body declares an archive method, that is lexically
+                          nested in such a type, or that an archive_* free
+                          function takes by reference); addresses don't
+                          survive a snapshot round trip
 
 Suppression: append ``// NOLINT(gdisim-<rule>)`` to the offending line, or
 put ``// NOLINTNEXTLINE(gdisim-<rule>)`` on the line above. A bare
@@ -103,6 +108,16 @@ RULES = {
         "message": "getenv in sim code: behaviour must not depend on the host "
         "environment; thread configuration through Scenario/GlobalOptions",
     },
+    "gdisim-snapshot-ptr": {
+        # File-level rule: needs struct/class region tracking, not a line
+        # regex. Findings come from _snapshot_ptr_findings below.
+        "pattern": None,
+        "file_level": True,
+        "message": "raw-pointer field in a snapshotable type: the archive "
+        "path must re-express it as a stable id (AgentId, instance serial, "
+        "pool/queue index); once it does, acknowledge with "
+        "NOLINT(gdisim-snapshot-ptr)",
+    },
 }
 
 _NOLINT = re.compile(r"NOLINT(NEXTLINE)?(?:\(([^)]*)\))?")
@@ -186,6 +201,123 @@ def _ptr_key_names(code_lines: list[str]) -> set[str]:
 
 
 # --------------------------------------------------------------------------
+# Snapshot-pointer rule (file level)
+# --------------------------------------------------------------------------
+
+_TYPE_HEADER = re.compile(r"\b(struct|class)\s+([A-Za-z_]\w*)")
+_ARCHIVE_CALLISH = re.compile(r"\barchive\w*\s*\(")
+# A raw-pointer member declaration: `Type* name;`, `const T* n = nullptr;`.
+# Parens are excluded everywhere so function/method declarations returning
+# pointers (and function-pointer members) never match.
+_PTR_FIELD = re.compile(
+    r"^\s*(?:const\s+)?[A-Za-z_][\w:]*(?:<[^;()]*>)?\s*\*\s*(?:const\s+)?"
+    r"[A-Za-z_]\w*\s*(?:=\s*[^;()]*|\{[^;()]*\})?\s*;"
+)
+
+
+def _scan_type_regions(code_lines: list[str]) -> tuple[list[dict], list[int]]:
+    """Brace-walk the file into struct/class body regions.
+
+    Returns (regions, line_depth): each region records its name, body line
+    span, body brace depth, and enclosing region; line_depth[i] is the open
+    brace count at the start of line i+1. Pointer fields are recognised as
+    lines matching _PTR_FIELD whose start-of-line depth equals the region's
+    body depth (deeper lines sit in nested scopes/method bodies)."""
+    regions: list[dict] = []
+    open_stack: list[int | None] = []  # region index per open brace, or None
+    line_depth: list[int] = []
+    pending = ""
+    for line in code_lines:
+        line_depth.append(len(open_stack))
+        for ch in line:
+            if ch == "{":
+                header = None
+                # `template <class T>` introduces type keywords that are not
+                # type definitions; drop template intros before matching.
+                intro = re.sub(r"\btemplate\s*<[^<>]*>", " ", pending)
+                if not re.search(r"\benum\b", intro):
+                    for m in _TYPE_HEADER.finditer(intro):
+                        header = m  # last struct/class before the brace
+                if header:
+                    parent = next(
+                        (i for i in reversed(open_stack) if i is not None), None)
+                    regions.append({
+                        "name": header.group(2),
+                        "start": len(line_depth),
+                        "end": None,
+                        "depth": len(open_stack) + 1,
+                        "parent": parent,
+                        "snap": None,
+                    })
+                    open_stack.append(len(regions) - 1)
+                else:
+                    open_stack.append(None)
+                pending = ""
+            elif ch == "}":
+                if open_stack:
+                    idx = open_stack.pop()
+                    if idx is not None:
+                        regions[idx]["end"] = len(line_depth)
+                pending = ""
+            elif ch == ";":
+                pending = ""
+            else:
+                pending += ch
+        pending += " "
+    for r in regions:
+        if r["end"] is None:
+            r["end"] = len(code_lines)
+    return regions, line_depth
+
+
+def _snapshot_ptr_findings(code_lines: list[str], raw_lines: list[str],
+                           repo_rel: str) -> list[dict]:
+    """gdisim-snapshot-ptr: raw-pointer fields in snapshotable types.
+
+    A type is snapshotable when its body declares an archive method, when it
+    is lexically nested inside a snapshotable type (nested job/message
+    structs are archived by the enclosing type's method), or when the file
+    declares an archive_* free function taking it by reference/pointer
+    (e.g. archive_stage_job(..., StageJob&))."""
+    regions, line_depth = _scan_type_regions(code_lines)
+    joined = " ".join(code_lines)
+
+    def snapshotable(idx: int) -> bool:
+        r = regions[idx]
+        if r["snap"] is None:
+            body = " ".join(code_lines[r["start"] - 1:r["end"]])
+            r["snap"] = bool(
+                _ARCHIVE_CALLISH.search(body)
+                or re.search(
+                    r"\barchive\w*\s*\([^;{)]*\b" + re.escape(r["name"]) + r"\s*[&*]",
+                    joined)
+                or (r["parent"] is not None and snapshotable(r["parent"]))
+            )
+        return r["snap"]
+
+    spec = RULES["gdisim-snapshot-ptr"]
+    findings = []
+    for idx, r in enumerate(regions):
+        if not snapshotable(idx):
+            continue
+        for lineno in range(r["start"], min(r["end"], len(code_lines)) + 1):
+            if line_depth[lineno - 1] != r["depth"]:
+                continue
+            if not _PTR_FIELD.match(code_lines[lineno - 1]):
+                continue
+            findings.append({
+                "file": repo_rel,
+                "line": lineno,
+                "rule": "gdisim-snapshot-ptr",
+                "message": spec["message"],
+                "snippet": raw_lines[lineno - 1].strip()[:160],
+                "suppressed": _line_suppressed(raw_lines, lineno,
+                                               "gdisim-snapshot-ptr"),
+            })
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Scanners
 # --------------------------------------------------------------------------
 
@@ -195,9 +327,11 @@ def scan_file_regex(path: str, repo_rel: str) -> list[dict]:
         text = f.read()
     code_lines, raw_lines = _strip_comments(text)
     ptr_names = _ptr_key_names(code_lines)
-    findings = []
+    findings = _snapshot_ptr_findings(code_lines, raw_lines, repo_rel)
     for lineno, (code, raw) in enumerate(zip(code_lines, raw_lines), start=1):
         for rule, spec in RULES.items():
+            if spec.get("file_level"):
+                continue
             exempt = spec.get("exempt_files", ())
             if any(repo_rel.endswith(e) for e in exempt):
                 continue
