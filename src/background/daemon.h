@@ -65,15 +65,15 @@ class BackgroundDaemon : public Agent {
   };
   struct CompletionMsg {
     /// Resolved on restore via the instance serial, never serialized.
-    OperationInstance* instance;  // NOLINT(gdisim-snapshot-ptr)
+    OperationInstance* instance;  // NOLINT(gdisim-snapshot-ptr) travels as (launcher id, serial)
     Tick end_tick;
   };
 
   std::unique_ptr<OperationInstance> make_instance(const CascadeSpec& spec, LaunchParams params);
 
   DcId home_dc_;
-  OperationContext* ctx_;  // construction-time wiring; never archived  NOLINT(gdisim-snapshot-ptr)
-  TickClock clock_;
+  OperationContext* ctx_;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: construction-time wiring
+  TickClock clock_;  // ARCHIVE-TRANSIENT: tick<->seconds conversion fixed at construction
   Rng rng_;
   /// In-flight runs keyed by instance serial (stable id, never an address).
   std::unordered_map<std::uint64_t, LiveRun> live_;

@@ -86,11 +86,11 @@ class FileTracker {
   }
 
  private:
-  DataGrowthModel growth_;
-  AccessPatternMatrix apm_;
-  std::vector<DcId> creator_dcs_;
-  DcId single_owner_;
-  std::uint64_t seed_;
+  DataGrowthModel growth_;  // ARCHIVE-TRANSIENT: construction-time configuration
+  AccessPatternMatrix apm_;  // ARCHIVE-TRANSIENT: construction-time configuration
+  std::vector<DcId> creator_dcs_;  // ARCHIVE-TRANSIENT: construction-time configuration
+  DcId single_owner_;  // ARCHIVE-TRANSIENT: construction-time configuration
+  std::uint64_t seed_;  // ARCHIVE-TRANSIENT: construction-time configuration; evolving state lives in per_owner_
   std::vector<StalenessDistribution> per_owner_;
 };
 

@@ -58,14 +58,14 @@ class IndexBuildDaemon final : public BackgroundDaemon {
   void on_run_complete(const BackgroundRunRecord& record, Tick end_tick) override;
 
  private:
-  IndexBuildConfig config_;
+  IndexBuildConfig config_;  // ARCHIVE-TRANSIENT: construction-time configuration
   // Stored by value: the daemon outlives scenario moves (Scenario is
   // movable) and the model is read-only here.
-  DataGrowthModel growth_;
-  AccessPatternMatrix apm_;
+  DataGrowthModel growth_;  // ARCHIVE-TRANSIENT: construction-time configuration
+  AccessPatternMatrix apm_;  // ARCHIVE-TRANSIENT: construction-time configuration
   bool running_ = false;
   Tick next_launch_ = 0;
-  Tick delay_ticks_ = 1;
+  Tick delay_ticks_ = 1;  // ARCHIVE-TRANSIENT: derived from config at construction
   double cover_from_hour_ = 0.0;
 };
 

@@ -61,15 +61,15 @@ class SynchRepDaemon final : public BackgroundDaemon {
   void on_run_complete(const BackgroundRunRecord& record, Tick end_tick) override;
 
  private:
-  SynchRepConfig config_;
+  SynchRepConfig config_;  // ARCHIVE-TRANSIENT: construction-time configuration
   // Stored by value: the daemon outlives scenario moves (Scenario is
   // movable) and the model is read-only here.
-  DataGrowthModel growth_;
-  AccessPatternMatrix apm_;
+  DataGrowthModel growth_;  // ARCHIVE-TRANSIENT: construction-time configuration
+  AccessPatternMatrix apm_;  // ARCHIVE-TRANSIENT: construction-time configuration
   Tick next_launch_ = 0;
-  Tick interval_ticks_ = 1;
+  Tick interval_ticks_ = 1;  // ARCHIVE-TRANSIENT: derived from config at construction
   double cover_from_hour_ = 0.0;
-  FileTracker* file_tracker_ = nullptr;  // wired at build time; never archived  NOLINT(gdisim-snapshot-ptr)
+  FileTracker* file_tracker_ = nullptr;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: wired at build time; the tracker archives itself
 };
 
 }  // namespace gdisim

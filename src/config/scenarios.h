@@ -30,14 +30,14 @@ inline constexpr double kGlobalTickSeconds = 0.050;
 
 struct Scenario {
   /// Tick length the scenario's launchers were built with.
-  double tick_seconds = 0.0;
+  double tick_seconds = 0.0;  // ARCHIVE-TRANSIENT: build-time structure; SnapshotCompat guards shape instead
 
   std::unique_ptr<Topology> topology;
-  std::unique_ptr<OperationContext> ctx;
-  std::unique_ptr<OperationCatalog> catalog;
-  DataGrowthModel growth;
-  AccessPatternMatrix apm;
-  DcId master_dc = 0;
+  std::unique_ptr<OperationContext> ctx;  // ARCHIVE-TRANSIENT: stateless routing wiring built with the scenario
+  std::unique_ptr<OperationCatalog> catalog;  // ARCHIVE-TRANSIENT: immutable operation specs built with the scenario
+  DataGrowthModel growth;  // ARCHIVE-TRANSIENT: construction-time configuration
+  AccessPatternMatrix apm;  // ARCHIVE-TRANSIENT: construction-time configuration
+  DcId master_dc = 0;  // ARCHIVE-TRANSIENT: build-time structure; SnapshotCompat guards shape instead
 
   std::vector<std::unique_ptr<ClientPopulation>> populations;
   std::vector<std::unique_ptr<SeriesLauncher>> launchers;

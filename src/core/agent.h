@@ -141,15 +141,15 @@ class Agent {
 #endif
 
  private:
-  std::string name_;
-  AgentId id_ = kInvalidAgent;
+  std::string name_;  // ARCHIVE-TRANSIENT: construction-time identity; SnapshotCompat guards agent order
+  AgentId id_ = kInvalidAgent;  // ARCHIVE-TRANSIENT: construction-time identity; SnapshotCompat guards agent order
   // Loop wiring, rebound at registration; never archived.
-  AgentWakeScheduler* wake_scheduler_ = nullptr;     // NOLINT(gdisim-snapshot-ptr)
-  const std::atomic<bool>* wake_hint_ = nullptr;     // NOLINT(gdisim-snapshot-ptr)
+  AgentWakeScheduler* wake_scheduler_ = nullptr;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: loop wiring; rebound when agents register
+  const std::atomic<bool>* wake_hint_ = nullptr;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: loop wiring; rebound when agents register
   std::uint64_t send_seq_ = 0;
 #if GDISIM_AUDIT_ENABLED
-  Tick audit_last_tick_ = 0;
-  bool audit_ticked_ = false;
+  Tick audit_last_tick_ = 0;  // ARCHIVE-TRANSIENT: audit diagnostic; re-arms after restore
+  bool audit_ticked_ = false;  // ARCHIVE-TRANSIENT: audit diagnostic; re-arms after restore
 #endif
 };
 
@@ -335,7 +335,7 @@ class Inbox {
   };
 
   std::array<Shard, kShards> shards_;
-  Agent* owner_ = nullptr;  // bound at construction; never archived  NOLINT(gdisim-snapshot-ptr)
+  Agent* owner_ = nullptr;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: bound at construction
   std::atomic<std::int64_t> approx_size_{0};
 };
 

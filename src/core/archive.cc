@@ -32,7 +32,9 @@ void StateArchive::put(const std::uint8_t* bytes, std::size_t n) {
 
 void StateArchive::get(std::uint8_t* bytes, std::size_t n) {
   if (cursor_ + n > buf_.size()) {
-    throw std::runtime_error("snapshot truncated: read past end of payload");
+    throw std::runtime_error("snapshot truncated: need " + std::to_string(n) +
+                             " byte(s) at byte " + std::to_string(cursor_) +
+                             ", payload holds " + std::to_string(buf_.size()));
   }
   std::memcpy(bytes, buf_.data() + cursor_, n);
   cursor_ += n;
@@ -152,21 +154,26 @@ void StateArchive::write_to_file(const std::string& path) const {
 
 StateArchive StateArchive::read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("snapshot: cannot open '" + path + "'");
+  if (!in) throw std::runtime_error(path + ": cannot open snapshot file");
 
-  auto get_u32 = [&in, &path]() {
+  // Diagnostics carry the byte offset of the failing header field, in the
+  // same `source:position: why` shape the scenario loader uses.
+  auto fail = [&path](std::uint64_t offset, const std::string& why) {
+    throw std::runtime_error(path + ":byte " + std::to_string(offset) + ": " + why);
+  };
+  auto get_u32 = [&in, &fail](std::uint64_t offset, const char* what) {
     std::uint8_t b[4];
     if (!in.read(reinterpret_cast<char*>(b), 4)) {
-      throw std::runtime_error("snapshot: truncated header in '" + path + "'");
+      fail(offset, std::string("truncated header: missing ") + what);
     }
     std::uint32_t v = 0;
     for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
     return v;
   };
-  auto get_u64 = [&in, &path]() {
+  auto get_u64 = [&in, &fail](std::uint64_t offset, const char* what) {
     std::uint8_t b[8];
     if (!in.read(reinterpret_cast<char*>(b), 8)) {
-      throw std::runtime_error("snapshot: truncated header in '" + path + "'");
+      fail(offset, std::string("truncated header: missing ") + what);
     }
     std::uint64_t v = 0;
     for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
@@ -175,15 +182,16 @@ StateArchive StateArchive::read_file(const std::string& path) {
 
   char magic[8];
   if (!in.read(magic, sizeof(magic)) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("snapshot: '" + path + "' is not a GDISim snapshot");
+    fail(0, "not a GDISim snapshot (bad magic)");
   }
-  const std::uint32_t version = get_u32();
+  const std::uint32_t version = get_u32(sizeof(kMagic), "format version");
   if (version != kFormatVersion) {
-    throw std::runtime_error("snapshot: '" + path + "' has format version " +
-                             std::to_string(version) + ", this build reads " +
-                             std::to_string(kFormatVersion));
+    fail(sizeof(kMagic), "format version " + std::to_string(version) +
+                             ", this build reads " + std::to_string(kFormatVersion));
   }
-  const std::uint64_t payload_size = get_u64();
+  const std::uint64_t size_offset = sizeof(kMagic) + sizeof(std::uint32_t);
+  const std::uint64_t payload_size = get_u64(size_offset, "payload size");
+  const std::uint64_t payload_offset = size_offset + sizeof(std::uint64_t);
   // Validate the declared size against the actual file length before
   // allocating: a corrupted size field must fail cleanly, not bad_alloc.
   const auto data_pos = in.tellg();
@@ -193,18 +201,19 @@ StateArchive StateArchive::read_file(const std::string& path) {
   const std::uint64_t remaining =
       end_pos > data_pos ? static_cast<std::uint64_t>(end_pos - data_pos) : 0;
   if (payload_size + sizeof(std::uint64_t) != remaining) {
-    throw std::runtime_error("snapshot: '" + path +
-                             "' payload size disagrees with file length (corrupt file)");
+    fail(size_offset, "declared payload size " + std::to_string(payload_size) +
+                          " disagrees with the " + std::to_string(remaining) +
+                          " byte(s) after the header (truncated or corrupt file)");
   }
   std::vector<std::uint8_t> payload(static_cast<std::size_t>(payload_size));
   if (payload_size > 0 &&
       !in.read(reinterpret_cast<char*>(payload.data()),
                static_cast<std::streamsize>(payload_size))) {
-    throw std::runtime_error("snapshot: truncated payload in '" + path + "'");
+    fail(payload_offset, "truncated payload");
   }
-  const std::uint64_t checksum = get_u64();
+  const std::uint64_t checksum = get_u64(payload_offset + payload_size, "checksum");
   if (checksum != fnv1a(payload)) {
-    throw std::runtime_error("snapshot: checksum mismatch in '" + path + "' (corrupt file)");
+    fail(payload_offset + payload_size, "checksum mismatch (corrupt file)");
   }
   return reader(std::move(payload));
 }

@@ -125,9 +125,9 @@ class HandlerRegistry {
  private:
   // Pointer-keyed maps are lookup-only (never iterated), so allocator
   // addresses cannot influence any ordering decision.
-  std::unordered_map<const StageCompletionHandler*, HandlerKey> key_by_handler_;  // NOLINT(gdisim-ptr-key-decl)
+  std::unordered_map<const StageCompletionHandler*, HandlerKey> key_by_handler_;  // NOLINT(gdisim-ptr-key-decl) lookup table; never iterated
   std::map<std::pair<AgentId, std::uint64_t>, StageCompletionHandler*> handler_by_key_;
-  std::unordered_map<const MemoryComponent*, AgentId> key_by_memory_;  // NOLINT(gdisim-ptr-key-decl)
+  std::unordered_map<const MemoryComponent*, AgentId> key_by_memory_;  // NOLINT(gdisim-ptr-key-decl) lookup table; never iterated
   std::map<AgentId, MemoryComponent*> memory_by_key_;
   std::function<Agent*(AgentId)> agent_resolver_;
 };

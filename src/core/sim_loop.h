@@ -156,16 +156,16 @@ class SimulationLoop : public AgentWakeScheduler {
     }
   }
 
-  SimLoopConfig config_;
-  TickClock clock_;
-  ExecutionEngine* engine_;  // construction-time wiring; never archived  NOLINT(gdisim-snapshot-ptr)
+  SimLoopConfig config_;  // ARCHIVE-TRANSIENT: construction-time configuration
+  TickClock clock_;  // ARCHIVE-TRANSIENT: construction-time configuration
+  ExecutionEngine* engine_;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: construction-time wiring
   std::vector<Agent*> agents_;
-  std::function<void(Tick)> collect_cb_;
-  std::vector<std::function<void(Tick)>> pre_tick_hooks_;
+  std::function<void(Tick)> collect_cb_;  // ARCHIVE-TRANSIENT: construction-time wiring
+  std::vector<std::function<void(Tick)>> pre_tick_hooks_;  // ARCHIVE-TRANSIENT: construction-time wiring
   Tick now_ = 0;
   bool active_mode_;
-  bool engine_serial_ = false;
-  bool hints_bound_ = false;
+  bool engine_serial_ = false;  // ARCHIVE-TRANSIENT: derived from the engine at construction
+  bool hints_bound_ = false;  // ARCHIVE-TRANSIENT: wiring flag; hints rebind on restore
 
   // --- Active-set scheduler state (master-only except where noted). ---
   /// Ids whose phases run this iteration; grows mid-iteration when tick-phase
@@ -173,7 +173,7 @@ class SimulationLoop : public AgentWakeScheduler {
   std::vector<AgentId> active_;
   /// next_wake_tick answers gathered during the interaction phase (indexed
   /// like active_; each slot written by exactly one worker).
-  std::vector<Tick> rearm_;
+  std::vector<Tick> rearm_;  // ARCHIVE-TRANSIENT: active-set scratch; restore re-wakes every agent
   /// Agents that answered kEveryTick — sticky members of every active set.
   std::vector<AgentId> always_active_;
   std::vector<char> in_always_;
@@ -181,8 +181,8 @@ class SimulationLoop : public AgentWakeScheduler {
   std::vector<AgentId> immediate_;
   WakeCalendar calendar_;
   /// Per-iteration dedup for admissions.
-  std::vector<std::uint64_t> epoch_mark_;
-  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> epoch_mark_;  // ARCHIVE-TRANSIENT: per-iteration dedup; restore re-wakes every agent
+  std::uint64_t epoch_ = 0;  // ARCHIVE-TRANSIENT: per-iteration dedup; restore re-wakes every agent
 
   // Cross-thread wake path: a per-agent flag dedups requests (cleared by the
   // master when the wake is consumed at a barrier), sharded id lists absorb
@@ -190,8 +190,8 @@ class SimulationLoop : public AgentWakeScheduler {
   // flags live in a flat array (reallocated only in add_agent, which is
   // master-only and pre-run) because wake() is called once per delivery.
   std::unique_ptr<std::atomic<bool>[]> wake_flag_;
-  std::size_t wake_flag_count_ = 0;
-  std::size_t wake_flag_cap_ = 0;
+  std::size_t wake_flag_count_ = 0;  // ARCHIVE-TRANSIENT: flag-array bookkeeping sized pre-run
+  std::size_t wake_flag_cap_ = 0;  // ARCHIVE-TRANSIENT: flag-array bookkeeping sized pre-run
   /// Number of ids sitting in the woken shards; lets drain_woken skip the
   /// shard sweep (16 lock round-trips) on quiet iterations.
   std::atomic<std::size_t> woken_pending_{0};

@@ -49,7 +49,7 @@ struct StageJob {
   double work = 0.0;
   /// Runtime-only pointer; snapshots re-express it as a HandlerKey
   /// (launcher AgentId + instance serial) via archive_stage_job.
-  StageCompletionHandler* handler = nullptr;  // NOLINT(gdisim-snapshot-ptr)
+  StageCompletionHandler* handler = nullptr;  // NOLINT(gdisim-snapshot-ptr) archived as a HandlerKey
   std::uint64_t tag = 0;
   unsigned parallelism = 1;
 };
@@ -244,8 +244,8 @@ class Component : public Agent {
  private:
   Inbox<StageJob> inbox_;
   /// Reused drain buffer; its capacity amortizes across interaction phases.
-  std::vector<Delivery<StageJob>> drain_scratch_;
-  double tick_seconds_ = 0.0;
+  std::vector<Delivery<StageJob>> drain_scratch_;  // ARCHIVE-TRANSIENT: per-tick scratch; empty between ticks
+  double tick_seconds_ = 0.0;  // ARCHIVE-TRANSIENT: clock configuration fixed at construction
   /// Tick-parity double buffer: work accounted at tick t lands in bucket
   /// (t+1)&1 and is folded by on_tick(t+1), which reads bucket (t+1)&1. The
   /// phase barrier separates all writers of a bucket from its reader.

@@ -56,7 +56,7 @@ void CpuComponent::archive_discipline(StateArchive& ar, HandlerRegistry& reg) {
     // queues (a parallel job appears once per share); the map is
     // lookup-only, never iterated.
     std::vector<PendingJob*> order;
-    std::unordered_map<PendingJob*, std::uint64_t> index;  // NOLINT(gdisim-ptr-key-decl)
+    std::unordered_map<PendingJob*, std::uint64_t> index;  // NOLINT(gdisim-ptr-key-decl) archive-local lookup; never iterated
     const JobCtxEncoder enc = [&](JobCtx ctx) -> std::uint64_t {
       auto* pending = static_cast<PendingJob*>(ctx);
       const auto [it, fresh] = index.emplace(pending, order.size());

@@ -58,10 +58,10 @@ class CpuComponent final : public Component {
     unsigned outstanding = 1;  ///< shares still in service (>1 for parallel jobs)
   };
 
-  CpuSpec spec_;
+  CpuSpec spec_;  // ARCHIVE-TRANSIENT: hardware spec; construction-time configuration
   std::vector<FcfsMultiServerQueue> sockets_;
   JobPool<PendingJob> pool_;
-  std::vector<JobCtx> completed_;
+  std::vector<JobCtx> completed_;  // ARCHIVE-TRANSIENT: per-tick scratch; drained before the tick ends
   double last_utilization_ = 0.0;
 };
 

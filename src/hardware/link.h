@@ -54,10 +54,10 @@ class LinkComponent final : public Component {
   }
 
  private:
-  LinkSpec spec_;
+  LinkSpec spec_;  // ARCHIVE-TRANSIENT: hardware spec; construction-time configuration
   PsQueue queue_;
   JobPool<StageJob> pool_;
-  std::vector<JobCtx> completed_;
+  std::vector<JobCtx> completed_;  // ARCHIVE-TRANSIENT: per-tick scratch; drained before the tick ends
 };
 
 }  // namespace gdisim

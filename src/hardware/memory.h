@@ -79,7 +79,7 @@ class MemoryComponent {
  private:
   static std::int64_t to_milli(double bytes) { return static_cast<std::int64_t>(bytes * 1000.0); }
 
-  MemorySpec spec_;
+  MemorySpec spec_;  // ARCHIVE-TRANSIENT: hardware spec; construction-time configuration
   std::atomic<std::int64_t> occupied_milli_{0};
 };
 

@@ -40,10 +40,10 @@ class SwitchComponent final : public Component {
   }
 
  private:
-  SwitchSpec spec_;
+  SwitchSpec spec_;  // ARCHIVE-TRANSIENT: hardware spec; construction-time configuration
   FcfsMultiServerQueue queue_;
   JobPool<StageJob> pool_;
-  std::vector<JobCtx> completed_;
+  std::vector<JobCtx> completed_;  // ARCHIVE-TRANSIENT: per-tick scratch; drained before the tick ends
 };
 
 }  // namespace gdisim

@@ -39,10 +39,10 @@ class NicComponent final : public Component {
   }
 
  private:
-  NicSpec spec_;
+  NicSpec spec_;  // ARCHIVE-TRANSIENT: hardware spec; construction-time configuration
   FcfsMultiServerQueue queue_;
   JobPool<StageJob> pool_;
-  std::vector<JobCtx> completed_;
+  std::vector<JobCtx> completed_;  // ARCHIVE-TRANSIENT: per-tick scratch; drained before the tick ends
 };
 
 }  // namespace gdisim

@@ -102,9 +102,9 @@ void RaidComponent::archive_discipline(StateArchive& ar, HandlerRegistry& reg) {
     // the pool objects before re-linking the queue entries. Maps are
     // lookup-only, never iterated.
     std::vector<RaidJob*> job_order;
-    std::unordered_map<RaidJob*, std::uint64_t> job_index;  // NOLINT(gdisim-ptr-key-decl)
+    std::unordered_map<RaidJob*, std::uint64_t> job_index;  // NOLINT(gdisim-ptr-key-decl) archive-local lookup; never iterated
     std::vector<BranchJob*> branch_order;
-    std::unordered_map<BranchJob*, std::uint64_t> branch_index;  // NOLINT(gdisim-ptr-key-decl)
+    std::unordered_map<BranchJob*, std::uint64_t> branch_index;  // NOLINT(gdisim-ptr-key-decl) archive-local lookup; never iterated
     const auto note_job = [&](RaidJob* job) {
       if (job_index.emplace(job, job_order.size()).second) job_order.push_back(job);
     };

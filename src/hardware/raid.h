@@ -54,14 +54,14 @@ class RaidComponent final : public Component {
   struct BranchJob {
     /// Pool-owned parent; snapshots travel as an index into the streamed
     /// job table, never as an address.
-    RaidJob* parent;  // NOLINT(gdisim-snapshot-ptr)
+    RaidJob* parent;  // NOLINT(gdisim-snapshot-ptr) travels as a job-table index
   };
 
   void complete(RaidJob* job, Tick now);
   void fork(RaidJob* job);
   void finish_branch(BranchJob* branch, Tick now);
 
-  RaidSpec spec_;
+  RaidSpec spec_;  // ARCHIVE-TRANSIENT: hardware spec; construction-time configuration
   Rng rng_;
   FcfsMultiServerQueue dacc_;
   std::vector<FcfsMultiServerQueue> dcc_;

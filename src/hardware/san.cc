@@ -110,9 +110,9 @@ void SanComponent::archive_discipline(StateArchive& ar, HandlerRegistry& reg) {
     // Same table-then-queues layout as RaidComponent; enumeration order is
     // fcsw, dacc, fcal, then the per-disk branches. Maps are lookup-only.
     std::vector<SanJob*> job_order;
-    std::unordered_map<SanJob*, std::uint64_t> job_index;  // NOLINT(gdisim-ptr-key-decl)
+    std::unordered_map<SanJob*, std::uint64_t> job_index;  // NOLINT(gdisim-ptr-key-decl) archive-local lookup; never iterated
     std::vector<BranchJob*> branch_order;
-    std::unordered_map<BranchJob*, std::uint64_t> branch_index;  // NOLINT(gdisim-ptr-key-decl)
+    std::unordered_map<BranchJob*, std::uint64_t> branch_index;  // NOLINT(gdisim-ptr-key-decl) archive-local lookup; never iterated
     const auto note_job = [&](SanJob* job) {
       if (job_index.emplace(job, job_order.size()).second) job_order.push_back(job);
     };

@@ -54,13 +54,13 @@ class SanComponent final : public Component {
   struct BranchJob {
     /// Pool-owned parent; snapshots travel as an index into the streamed
     /// job table, never as an address.
-    SanJob* parent;  // NOLINT(gdisim-snapshot-ptr)
+    SanJob* parent;  // NOLINT(gdisim-snapshot-ptr) travels as a job-table index
   };
 
   void complete(SanJob* job, Tick now);
   void finish_branch(BranchJob* branch, Tick now);
 
-  SanSpec spec_;
+  SanSpec spec_;  // ARCHIVE-TRANSIENT: hardware spec; construction-time configuration
   Rng rng_;
   FcfsMultiServerQueue fcsw_;
   FcfsMultiServerQueue dacc_;

@@ -60,12 +60,12 @@ class Tier {
   void archive_failure_state(StateArchive& ar);
 
  private:
-  TierKind kind_;
-  std::string name_;
+  TierKind kind_;  // ARCHIVE-TRANSIENT: construction-time identity
+  std::string name_;  // ARCHIVE-TRANSIENT: construction-time identity
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<bool> alive_;
   std::vector<std::size_t> alive_index_;  ///< indices of alive servers
-  std::unique_ptr<LinkComponent> local_link_;
+  std::unique_ptr<LinkComponent> local_link_;  // ARCHIVE-TRANSIENT: structural owner; the link archives via the component walk
 };
 
 }  // namespace gdisim

@@ -44,8 +44,8 @@ class Collector {
   }
 
  private:
-  double tick_seconds_;
-  std::vector<Probe> probes_;
+  double tick_seconds_;  // ARCHIVE-TRANSIENT: clock configuration fixed at construction
+  std::vector<Probe> probes_;  // ARCHIVE-TRANSIENT: probe wiring bound at build; sampled series are archived
   std::vector<TimeSeries> series_;
 };
 

@@ -57,7 +57,7 @@ class TimeSeries {
   }
 
  private:
-  std::string label_;
+  std::string label_;  // ARCHIVE-TRANSIENT: construction-time identity
   std::vector<Sample> samples_;
 };
 

@@ -78,7 +78,7 @@ class FcfsMultiServerQueue {
   double advance_busy(double dt, std::vector<JobCtx>& completed);
 
   unsigned servers_;
-  double rate_per_server_;
+  double rate_per_server_;  // ARCHIVE-TRANSIENT: immutable service-rate configuration
   std::vector<QueuedJob> in_service_;
   std::deque<QueuedJob> waiting_;
   std::uint64_t seq_ = 0;

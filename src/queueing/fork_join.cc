@@ -60,7 +60,7 @@ void ForkJoinQueue::archive_state(StateArchive& ar, const JobCtxEncoder& enc,
     // queues. Every live join has outstanding > 0 shares queued, so this
     // enumeration is exhaustive. The map is lookup-only, never iterated.
     std::vector<JoinState*> order;
-    std::unordered_map<JoinState*, std::uint64_t> index;  // NOLINT(gdisim-ptr-key-decl)
+    std::unordered_map<JoinState*, std::uint64_t> index;  // NOLINT(gdisim-ptr-key-decl) archive-local lookup; never iterated
     const JobCtxEncoder branch_enc = [&](JobCtx ctx) -> std::uint64_t {
       auto* join = static_cast<JoinState*>(ctx);
       const auto [it, fresh] = index.emplace(join, order.size());

@@ -59,9 +59,9 @@ class JobPool {
   std::size_t live() const { return live_; }
 
  private:
-  std::vector<std::unique_ptr<T>> slots_;
-  std::vector<T*> free_;
-  std::size_t live_ = 0;
+  std::vector<std::unique_ptr<T>> slots_;  // ARCHIVE-TRANSIENT: pool storage; load re-allocates live jobs via archive_stagejob_queue
+  std::vector<T*> free_;  // ARCHIVE-TRANSIENT: pool storage; load re-allocates live jobs via archive_stagejob_queue
+  std::size_t live_ = 0;  // ARCHIVE-TRANSIENT: pool storage; load re-allocates live jobs via archive_stagejob_queue
 };
 
 struct QueuedJob {

@@ -83,9 +83,9 @@ class PsQueue {
   void admit_waiting();
   double advance_busy(double dt, std::vector<JobCtx>& completed);
 
-  double total_rate_;
+  double total_rate_;  // ARCHIVE-TRANSIENT: immutable service-rate configuration
   std::size_t max_concurrent_;
-  double latency_seconds_;
+  double latency_seconds_;  // ARCHIVE-TRANSIENT: immutable service-time configuration
   std::vector<QueuedJob> active_;
   std::deque<QueuedJob> waiting_;
   std::vector<LatencyJob> latency_pipe_;

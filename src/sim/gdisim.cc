@@ -52,7 +52,15 @@ void GdiSimulator::checkpoint(const std::string& path) {
 
 void GdiSimulator::restore(const std::string& path) {
   StateArchive ar = StateArchive::read_file(path);
-  archive_simulation(ar, scenario_, *loop_, *collector_);
+  try {
+    load_archive(ar, /*rollback_on_error=*/true);
+  } catch (const std::exception& e) {
+    const std::string why = e.what();
+    // read_file diagnostics are already `path:byte N: why`; decode errors
+    // from inside the payload gain the same prefix with the stream cursor.
+    if (why.rfind(path, 0) == 0) throw;
+    throw std::runtime_error(path + ":byte " + std::to_string(ar.cursor()) + ": " + why);
+  }
 }
 
 std::vector<std::uint8_t> GdiSimulator::save_state() {
@@ -61,9 +69,28 @@ std::vector<std::uint8_t> GdiSimulator::save_state() {
   return ar.payload();
 }
 
-void GdiSimulator::load_state(const std::vector<std::uint8_t>& payload) {
+void GdiSimulator::load_state(const std::vector<std::uint8_t>& payload, bool rollback_on_error) {
   StateArchive ar = StateArchive::reader(payload);
-  archive_simulation(ar, scenario_, *loop_, *collector_);
+  load_archive(ar, rollback_on_error);
+}
+
+void GdiSimulator::load_archive(StateArchive& ar, bool rollback_on_error) {
+  if (!rollback_on_error) {
+    archive_simulation(ar, scenario_, *loop_, *collector_);
+    return;
+  }
+  // Transactional load: a payload that fails mid-decode (truncated stream,
+  // flipped bytes past the checksum, structural mismatch) must not leave the
+  // simulator half-mutated. Back up first, roll back on any throw; the
+  // rollback decode cannot fail because this simulator just produced it.
+  std::vector<std::uint8_t> backup = save_state();
+  try {
+    archive_simulation(ar, scenario_, *loop_, *collector_);
+  } catch (...) {
+    StateArchive undo = StateArchive::reader(std::move(backup));
+    archive_simulation(undo, scenario_, *loop_, *collector_);
+    throw;
+  }
 }
 
 }  // namespace gdisim

@@ -19,6 +19,8 @@
 
 namespace gdisim {
 
+class StateArchive;
+
 struct SimulatorConfig {
   /// Sampling period for the measurement-collection signal (thesis Ch. 5
   /// samples every six seconds).
@@ -50,12 +52,20 @@ class GdiSimulator {
   /// Replaces this simulator's state with the snapshot at `path`. The
   /// simulator must have been built from a structurally identical scenario
   /// (rates/intervals may differ — warm-start forking); throws
-  /// std::runtime_error with a line diff otherwise.
+  /// std::runtime_error with a line diff otherwise. Decode errors are
+  /// reported as `path:byte N: why` (the scenario loader's diagnostic
+  /// shape) and leave the simulator in its pre-restore state.
   void restore(const std::string& path);
 
   /// In-memory snapshot/restore (scenario forking without touching disk).
+  /// By default a payload that fails mid-decode is rolled back: the live
+  /// simulator is restored to its pre-call state before the exception
+  /// propagates. Pass `rollback_on_error = false` to skip the backup
+  /// snapshot in trusted hot paths (warm-start fork loops replaying a
+  /// payload this process just produced).
   std::vector<std::uint8_t> save_state();
-  void load_state(const std::vector<std::uint8_t>& payload);
+  void load_state(const std::vector<std::uint8_t>& payload,
+                  bool rollback_on_error = true);
 
   double now_seconds() const { return loop_->now_seconds(); }
   Scenario& scenario() { return scenario_; }
@@ -63,6 +73,8 @@ class GdiSimulator {
   SimulationLoop& loop() { return *loop_; }
 
  private:
+  void load_archive(StateArchive& ar, bool rollback_on_error);
+
   Scenario scenario_;
   SimulatorConfig config_;
   std::unique_ptr<HDispatchEngine> engine_;

@@ -161,7 +161,7 @@ class ClientPopulation final : public Agent {
   };
   struct CompletionMsg {
     /// Resolved on restore via the instance serial, never serialized.
-    OperationInstance* instance;  // NOLINT(gdisim-snapshot-ptr)
+    OperationInstance* instance;  // NOLINT(gdisim-snapshot-ptr) travels as (launcher id, serial)
     std::size_t slot;
     Tick end_tick;
   };
@@ -172,14 +172,14 @@ class ClientPopulation final : public Agent {
 
   ClientPopulationConfig config_;
   // Construction-time wiring, identical in the restored process.
-  const OperationCatalog* catalog_;  // NOLINT(gdisim-snapshot-ptr)
-  OperationContext* ctx_;            // NOLINT(gdisim-snapshot-ptr)
-  TickClock clock_;
+  const OperationCatalog* catalog_;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: construction-time wiring
+  OperationContext* ctx_;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: construction-time wiring
+  TickClock clock_;  // ARCHIVE-TRANSIENT: tick<->seconds conversion fixed at construction
   Rng rng_;
-  OwnerSampler owner_sampler_;
-  LaunchRecorder recorder_;
+  OwnerSampler owner_sampler_;  // ARCHIVE-TRANSIENT: stateless callback; draws come from the archived rng_
+  LaunchRecorder recorder_;  // ARCHIVE-TRANSIENT: observer callback wiring
   std::vector<Slot> slots_;
-  Tick scan_every_ = 1;
+  Tick scan_every_ = 1;  // ARCHIVE-TRANSIENT: derived from config at construction
   Tick next_scan_ = 0;
   /// In-flight operations keyed by instance serial — a stable id, never an
   /// address, so no container state depends on allocation order.
@@ -242,7 +242,7 @@ class SeriesLauncher final : public Agent {
   };
   struct CompletionMsg {
     /// Resolved on restore via the instance serial, never serialized.
-    OperationInstance* instance;  // NOLINT(gdisim-snapshot-ptr)
+    OperationInstance* instance;  // NOLINT(gdisim-snapshot-ptr) travels as (launcher id, serial)
     Tick end_tick;
   };
 
@@ -251,13 +251,13 @@ class SeriesLauncher final : public Agent {
 
   SeriesLauncherConfig config_;
   // Construction-time wiring, identical in the restored process.
-  const OperationCatalog* catalog_;  // NOLINT(gdisim-snapshot-ptr)
-  OperationContext* ctx_;            // NOLINT(gdisim-snapshot-ptr)
-  TickClock clock_;
+  const OperationCatalog* catalog_;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: construction-time wiring
+  OperationContext* ctx_;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: construction-time wiring
+  TickClock clock_;  // ARCHIVE-TRANSIENT: tick<->seconds conversion fixed at construction
   Rng rng_;
   Tick next_launch_ = 0;
-  Tick interval_ticks_ = 1;
-  Tick stop_tick_ = kNeverTick;
+  Tick interval_ticks_ = 1;  // ARCHIVE-TRANSIENT: derived from config at construction
+  Tick stop_tick_ = kNeverTick;  // ARCHIVE-TRANSIENT: derived from config at construction
   /// In-flight series keyed by instance serial (stable id, never an address).
   std::unordered_map<std::uint64_t, LiveOp> live_;
   Inbox<CompletionMsg> completions_;

@@ -103,19 +103,19 @@ class OperationInstance final : public StageCompletionHandler {
  private:
   struct Stage {
     /// Snapshots travel as the component's AgentId, never as an address.
-    Component* target = nullptr;  // NOLINT(gdisim-snapshot-ptr)
+    Component* target = nullptr;  // NOLINT(gdisim-snapshot-ptr) travels as the component's AgentId
     double work = 0.0;
     unsigned parallelism = 1;
   };
   struct BranchState {
     /// Re-derived on restore from (step_idx_, branch index) into the spec.
-    const Sequence* sequence = nullptr;  // NOLINT(gdisim-snapshot-ptr)
+    const Sequence* sequence = nullptr;  // NOLINT(gdisim-snapshot-ptr) re-derived from the spec on restore
     std::size_t msg_idx = 0;
     std::vector<Stage> stages;
     std::size_t stage_idx = 0;
     std::uint32_t local_seq = 0;
     /// Snapshots travel as the owning server's key, never as an address.
-    MemoryComponent* held_memory = nullptr;  // NOLINT(gdisim-snapshot-ptr)
+    MemoryComponent* held_memory = nullptr;  // NOLINT(gdisim-snapshot-ptr) travels as the owning CPU's AgentId
     double held_bytes = 0.0;
     Rng rng{0};
   };
@@ -132,10 +132,10 @@ class OperationInstance final : public StageCompletionHandler {
   void build_route(const MessageSpec& m, BranchState& branch, Tick now);
 
   // Construction-time wiring, identical in the restored process.
-  const CascadeSpec* spec_;  // NOLINT(gdisim-snapshot-ptr)
-  OperationContext* ctx_;    // NOLINT(gdisim-snapshot-ptr)
-  LaunchParams params_;
-  DoneFn done_;
+  const CascadeSpec* spec_;  // NOLINT(gdisim-snapshot-ptr) construction-time wiring
+  OperationContext* ctx_;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: construction-time wiring
+  LaunchParams params_;  // ARCHIVE-TRANSIENT: rebuilt by the relaunching owner before archive_state runs
+  DoneFn done_;  // ARCHIVE-TRANSIENT: completion callback wired by the owner
   std::size_t step_idx_ = 0;
   unsigned repeats_left_ = 0;
   std::vector<BranchState> branches_;

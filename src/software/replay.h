@@ -98,17 +98,17 @@ class TraceLauncher final : public Agent {
  private:
   struct CompletionMsg {
     /// Resolved on restore via the instance serial, never serialized.
-    OperationInstance* instance;  // NOLINT(gdisim-snapshot-ptr)
+    OperationInstance* instance;  // NOLINT(gdisim-snapshot-ptr) travels as (launcher id, serial)
     Tick end_tick;
   };
 
   std::unique_ptr<OperationInstance> make_instance(const TraceEntry& e, LaunchParams params);
 
   // Construction-time wiring, identical in the restored process.
-  const WorkloadTrace* trace_;       // NOLINT(gdisim-snapshot-ptr)
-  const OperationCatalog* catalog_;  // NOLINT(gdisim-snapshot-ptr)
-  OperationContext* ctx_;            // NOLINT(gdisim-snapshot-ptr)
-  TickClock clock_;
+  const WorkloadTrace* trace_;       // NOLINT(gdisim-snapshot-ptr) construction-time wiring
+  const OperationCatalog* catalog_;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: construction-time wiring
+  OperationContext* ctx_;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: construction-time wiring
+  TickClock clock_;  // ARCHIVE-TRANSIENT: tick<->seconds conversion fixed at construction
   std::uint64_t seed_;
   std::size_t cursor_ = 0;
   /// In-flight operations keyed by instance serial (stable id, never an

@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -310,6 +312,146 @@ TEST(SnapshotLayer, DaemonMidSynchrepRoundTrip) {
   a->run_until_seconds(90.0);
   b->run_until_seconds(90.0);
   EXPECT_EQ(result_fingerprint(*a), result_fingerprint(*b));
+}
+
+// ---------------------------------------------------------------------------
+// Archive corruption: a payload that fails mid-decode must be rejected
+// cleanly — the live simulator keeps its exact pre-load state (transactional
+// rollback in GdiSimulator::load_state) and stays deterministic afterwards.
+
+// Locates genuine section frames in a payload: kSectionMagic (0x5EC7105E,
+// little-endian) followed by a plausible length-prefixed printable label.
+std::vector<std::size_t> section_starts(const std::vector<std::uint8_t>& p) {
+  static const std::uint8_t magic[4] = {0x5e, 0x10, 0xc7, 0x5e};
+  std::vector<std::size_t> starts;
+  for (std::size_t i = 0; i + 12 <= p.size(); ++i) {
+    if (std::memcmp(p.data() + i, magic, 4) != 0) continue;
+    std::uint64_t len = 0;
+    for (int k = 0; k < 8; ++k) len |= static_cast<std::uint64_t>(p[i + 4 + k]) << (8 * k);
+    if (len == 0 || len > 64 || i + 12 + len > p.size()) continue;
+    bool printable = true;
+    for (std::uint64_t k = 0; k < len; ++k) {
+      const std::uint8_t c = p[i + 12 + k];
+      if (c < 0x20 || c > 0x7e) {
+        printable = false;
+        break;
+      }
+    }
+    if (printable) starts.push_back(i);
+  }
+  return starts;
+}
+
+// At most `n` evenly spaced picks, always including the first and last.
+std::vector<std::size_t> sample(const std::vector<std::size_t>& v, std::size_t n) {
+  if (v.size() <= n) return v;
+  std::vector<std::size_t> out;
+  for (std::size_t k = 0; k < n; ++k) out.push_back(v[k * (v.size() - 1) / (n - 1)]);
+  return out;
+}
+
+TEST(ArchiveCorruption, PerSectionTruncationRollsBack) {
+  auto sim = make_mini();
+  sim->run_until_seconds(45.0);
+  const std::vector<std::uint8_t> snap = sim->save_state();
+  const auto sections = sample(section_starts(snap), 10);
+  ASSERT_GT(sections.size(), 3u);
+
+  // Cut the payload inside each sampled section frame, plus one byte short
+  // of complete. Every truncated decode must throw, and after the throw the
+  // simulator's state must be byte-identical to what it was before the
+  // failed load — no partial mutation.
+  std::vector<std::size_t> cuts;
+  for (const std::size_t s : sections) cuts.push_back(s + 2);
+  cuts.push_back(snap.size() - 1);
+  for (const std::size_t cut : cuts) {
+    const std::vector<std::uint8_t> truncated(snap.begin(),
+                                              snap.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(sim->load_state(truncated), std::runtime_error) << "cut at " << cut;
+    EXPECT_EQ(sim->save_state(), snap) << "cut at " << cut;
+  }
+
+  // The survivor behaves exactly like a simulator that never saw a bad load.
+  auto control = make_mini();
+  control->load_state(snap);
+  sim->run_until_seconds(90.0);
+  control->run_until_seconds(90.0);
+  EXPECT_EQ(result_fingerprint(*sim), result_fingerprint(*control));
+}
+
+TEST(ArchiveCorruption, BitFlipRollsBack) {
+  auto sim = make_mini();
+  sim->run_until_seconds(45.0);
+  const std::vector<std::uint8_t> snap = sim->save_state();
+  const auto sections = sample(section_starts(snap), 8);
+  ASSERT_GT(sections.size(), 3u);
+
+  // Flip a bit in each sampled section's magic (stream desync) and in the
+  // first byte of its label (section-name mismatch). Both corruptions are
+  // guaranteed to be caught by the section framing mid-decode, which is the
+  // interesting failure point: some state has already been overwritten when
+  // the throw happens, so only the rollback keeps the simulator intact.
+  for (const std::size_t s : sections) {
+    for (const std::size_t off : {s, s + 12}) {
+      std::vector<std::uint8_t> flipped = snap;
+      flipped[off] ^= 0x01;
+      EXPECT_THROW(sim->load_state(flipped), std::runtime_error) << "flip at " << off;
+      EXPECT_EQ(sim->save_state(), snap) << "flip at " << off;
+    }
+  }
+}
+
+TEST(ArchiveCorruption, RestoreDiagnosticsNameFileAndByteOffset) {
+  auto sim = make_mini();
+  sim->run_until_seconds(10.0);
+  const std::string path = std::string(::testing::TempDir()) + "diag.gdisnap";
+  sim->checkpoint(path);
+
+  // Truncate the file: the header validator reports `path:byte N: why`, the
+  // same source:position shape the scenario loader uses.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 9u);
+    bytes.resize(bytes.size() - 9);  // lose the checksum and one payload byte
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    sim->restore(path);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.rfind(path + ":byte ", 0), 0u) << msg;
+  }
+  EXPECT_DOUBLE_EQ(sim->now_seconds(), 10.0);  // pre-restore state survives
+
+  // A well-formed file whose payload fails mid-decode gains the same prefix,
+  // with the stream cursor as the offset.
+  {
+    StateArchive junk(StateArchive::Mode::kWrite);
+    std::uint64_t v = 7;
+    junk.u64(v);
+    junk.write_to_file(path);
+  }
+  try {
+    sim->restore(path);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.rfind(path + ":byte ", 0), 0u) << msg;
+  }
+  EXPECT_DOUBLE_EQ(sim->now_seconds(), 10.0);
+  std::remove(path.c_str());
+
+  // A missing file names the path.
+  try {
+    sim->restore("/nonexistent/nope.gdisnap");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/nope.gdisnap"), std::string::npos);
+  }
 }
 
 // ---------------------------------------------------------------------------

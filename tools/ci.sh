@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # CI driver: configure + build + test every leg of the matrix.
 #
-#   tools/ci.sh                # full matrix: lint release audit smoke asan tsan
+#   tools/ci.sh                # full matrix (see LEGS default below)
 #   tools/ci.sh release        # one leg
 #   tools/ci.sh lint audit     # just the correctness tooling
 #   CTEST_ARGS="-R ActiveSet" tools/ci.sh tsan   # filter the test run
 #
 # Legs:
 #   lint     tools/lint/gdisim_lint.py over src/ (determinism lint; no build)
+#   archive-coverage  tools/lint/gdisim_archive_coverage.py over src/: every
+#            field of every snapshotable type is archived or declared
+#            // ARCHIVE-TRANSIENT, and save/load bodies stay symmetric
 #   tidy     clang-tidy with the repo .clang-tidy profile (skipped with a
 #            notice when clang-tidy is not installed)
 #   smoke    determinism smoke: diff release fingerprints of the consolidated
@@ -15,7 +18,10 @@
 #   snapshot checkpoint/restore equivalence: a run that checkpoints mid-flight
 #            and a fresh process that restores the snapshot must both produce
 #            the uninterrupted run's fingerprint (release and audit binaries)
-#   release/audit/asan/tsan   CMake presets: configure + build + ctest
+#   sanitize-snapshot  the snapshot/archive test suite (round trips,
+#            corruption rollback, restore equivalence) under ASan+UBSan and
+#            standalone UBSan builds
+#   release/audit/asan/ubsan/tsan   CMake presets: configure + build + ctest
 #
 # Sanitizer suites run the full tier-1 ctest set; on small hosts expect the
 # tsan leg to dominate wall time (the determinism/stress tests run the
@@ -25,7 +31,7 @@ cd "$(dirname "$0")/.."
 
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(lint release audit smoke snapshot asan tsan)
+  LEGS=(lint archive-coverage release audit smoke snapshot sanitize-snapshot asan tsan)
 fi
 
 JOBS="${JOBS:-$(nproc)}"
@@ -51,6 +57,17 @@ run_lint() {
   mkdir -p build
   python3 tools/lint/gdisim_lint.py src --json build/lint-report.json || {
     echo "lint: active findings (see above); suppress intentionally with // NOLINT(gdisim-*)" >&2
+    return 1
+  }
+}
+
+run_archive_coverage() {
+  echo "=== [archive-coverage] snapshot field coverage ==="
+  mkdir -p build
+  python3 tools/lint/gdisim_archive_coverage.py src \
+      --json build/archive-coverage-report.json || {
+    echo "archive-coverage: unarchived fields (see above); archive them or" \
+         "annotate // ARCHIVE-TRANSIENT: <why>" >&2
     return 1
   }
 }
@@ -144,12 +161,27 @@ run_snapshot() {
   echo "snapshot: restore and periodic-checkpoint runs match the uninterrupted fingerprint"
 }
 
+run_sanitize_snapshot() {
+  echo "=== [sanitize-snapshot] snapshot suite under ASan+UBSan and UBSan ==="
+  local preset
+  for preset in asan ubsan; do
+    cmake --preset "$preset" >/dev/null
+    cmake --build --preset "$preset" -j "$JOBS"
+    echo "--- [$preset] snapshot/archive tests ---"
+    ctest --preset "$preset" -j "$JOBS" \
+        -R 'Snapshot|StateArchive|ArchiveCorruption'
+  done
+  echo "sanitize-snapshot: snapshot suite clean under both sanitizer builds"
+}
+
 for leg in "${LEGS[@]}"; do
   case "$leg" in
     lint) run_lint ;;
+    archive-coverage) run_archive_coverage ;;
     tidy) run_tidy ;;
     smoke) run_smoke ;;
     snapshot) run_snapshot ;;
+    sanitize-snapshot) run_sanitize_snapshot ;;
     *) run_preset "$leg" ;;
   esac
 done

@@ -228,7 +228,14 @@ int main(int argc, char** argv) {
   GdiSimulator sim(std::move(scenario), cfg);
 
   if (!opt.restore_path.empty()) {
-    sim.restore(opt.restore_path);
+    try {
+      sim.restore(opt.restore_path);
+    } catch (const std::exception& e) {
+      // restore() diagnostics are `path:byte N: why` (loader format);
+      // surface them like a compile error instead of an uncaught throw.
+      std::cerr << "gdisim_run: --restore failed\n" << e.what() << "\n";
+      return 1;
+    }
     std::cout << "restored " << opt.restore_path << " at t=" << format_sim_time(sim.now_seconds())
               << "\n";
   }

@@ -1,0 +1,53 @@
+// Archive-coverage fixture: every field is covered through delegation --
+// nested archive_state calls, Base::archive_state, and a free archive_*
+// function. The analyzer must report ZERO findings here; a false positive
+// on any of these patterns fails the self-test.
+#include <cstdint>
+
+namespace fx {
+
+struct StateArchive {
+  bool writing() const;
+  bool reading() const;
+  void u64(std::uint64_t&);
+  void f64(double&);
+  void section(const char*);
+};
+
+class Inner {
+ public:
+  void archive_state(StateArchive& ar) { ar.u64(ticks_); }
+
+ private:
+  std::uint64_t ticks_ = 0;
+};
+
+struct Slot {
+  double load = 0.0;
+};
+
+inline void archive_slot(StateArchive& ar, Slot& s) { ar.f64(s.load); }
+
+class Base {
+ public:
+  void archive_state(StateArchive& ar) { ar.u64(serial_); }
+
+ private:
+  std::uint64_t serial_ = 0;
+};
+
+class Outer : public Base {
+ public:
+  void archive_state(StateArchive& ar) {
+    Base::archive_state(ar);
+    ar.section("outer");
+    inner_.archive_state(ar);
+    archive_slot(ar, slot_);
+  }
+
+ private:
+  Inner inner_;
+  Slot slot_;
+};
+
+}  // namespace fx

@@ -7,16 +7,16 @@
 struct Job {};
 
 void suppressed_cases() {
-  std::unordered_map<Job*, int> live;  // NOLINT(gdisim-ptr-key-decl)
-  // NOLINTNEXTLINE(gdisim-ptr-key-iter)
+  std::unordered_map<Job*, int> live;  // NOLINT(gdisim-ptr-key-decl) fixture: lookup only
+  // NOLINTNEXTLINE(gdisim-ptr-key-iter) fixture: order not observable
   for (auto& [job, refs] : live) {
     (void)job;
     (void)refs;
   }
-  // NOLINTNEXTLINE(gdisim-*)
+  // NOLINTNEXTLINE(gdisim-*) fixture: replay shim, not sim time
   const long t = time(nullptr);
   (void)t;
-  const char* env = std::getenv("HOME");  // NOLINT
+  const char* env = std::getenv("HOME");  // NOLINT fixture: host-tool probe
   (void)env;
 }
 

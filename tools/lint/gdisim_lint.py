@@ -22,11 +22,17 @@ determinism in the simulator:
                           nested in such a type, or that an archive_* free
                           function takes by reference); addresses don't
                           survive a snapshot round trip
+  gdisim-nolint-reason    a NOLINT that covers gdisim rules but carries no
+                          reason text; suppressions must say why they are
+                          sound so they can be audited
 
-Suppression: append ``// NOLINT(gdisim-<rule>)`` to the offending line, or
-put ``// NOLINTNEXTLINE(gdisim-<rule>)`` on the line above. A bare
-``NOLINT`` / ``NOLINTNEXTLINE`` (no rule list) suppresses every rule, as does
-``NOLINT(gdisim-*)``.
+Suppression: append ``// NOLINT(gdisim-<rule>) <reason>`` to the offending
+line, or put ``// NOLINTNEXTLINE(gdisim-<rule>) <reason>`` on the line above.
+A bare ``NOLINT`` / ``NOLINTNEXTLINE`` (no rule list) suppresses every rule,
+as does ``NOLINT(gdisim-*)``. The reason text is mandatory: a gdisim-scoped
+marker whose comment says nothing beyond the marker itself is flagged by
+gdisim-nolint-reason, and that finding is deliberately not suppressible —
+the only fix is to write the reason.
 
 The scanner prefers libclang (python bindings) when importable, which lets it
 resolve typedefs and distinguish declarations from comments structurally.
@@ -117,6 +123,15 @@ RULES = {
         "path must re-express it as a stable id (AgentId, instance serial, "
         "pool/queue index); once it does, acknowledge with "
         "NOLINT(gdisim-snapshot-ptr)",
+    },
+    "gdisim-nolint-reason": {
+        # File-level rule: inspects comment text, which the line regexes
+        # never see. Findings come from _nolint_reason_findings below.
+        "pattern": None,
+        "file_level": True,
+        "message": "NOLINT covering gdisim rules without a reason: say why "
+        "the suppression is sound (// NOLINT(gdisim-<rule>) <reason>); this "
+        "finding cannot itself be suppressed",
     },
 }
 
@@ -328,6 +343,7 @@ def scan_file_regex(path: str, repo_rel: str) -> list[dict]:
     code_lines, raw_lines = _strip_comments(text)
     ptr_names = _ptr_key_names(code_lines)
     findings = _snapshot_ptr_findings(code_lines, raw_lines, repo_rel)
+    findings.extend(_nolint_reason_findings(raw_lines, repo_rel))
     for lineno, (code, raw) in enumerate(zip(code_lines, raw_lines), start=1):
         for rule, spec in RULES.items():
             if spec.get("file_level"):
@@ -353,6 +369,42 @@ def scan_file_regex(path: str, repo_rel: str) -> list[dict]:
                     "suppressed": suppressed,
                 }
             )
+    return findings
+
+
+def _nolint_reason_findings(raw_lines: list[str], repo_rel: str) -> list[dict]:
+    """Flag NOLINT markers that suppress gdisim rules without saying why.
+
+    A marker is in scope when its rule list is empty (bare NOLINT covers
+    everything, gdisim rules included) or names any gdisim rule. The reason
+    is whatever comment text survives once the markers themselves are
+    removed; punctuation alone does not count. Findings are always active:
+    letting a NOLINT suppress the rule that audits NOLINTs would defeat it.
+    """
+    findings = []
+    for lineno, raw in enumerate(raw_lines, start=1):
+        markers = [
+            m for m in _NOLINT.finditer(raw)
+            if m.group(2) is None
+            or any(r.strip().startswith("gdisim") for r in m.group(2).split(","))
+        ]
+        if not markers:
+            continue
+        ci = raw.find("//")
+        comment = raw[ci + 2:] if ci >= 0 else raw[markers[0].start():]
+        text = _NOLINT.sub("", comment).replace("*/", " ")
+        if re.search(r"\w", text):
+            continue
+        findings.append(
+            {
+                "file": repo_rel,
+                "line": lineno,
+                "rule": "gdisim-nolint-reason",
+                "message": RULES["gdisim-nolint-reason"]["message"],
+                "snippet": raw.strip()[:160],
+                "suppressed": False,
+            }
+        )
     return findings
 
 
