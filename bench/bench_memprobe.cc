@@ -1,0 +1,75 @@
+// Counting replacements of the global allocation functions, linked into
+// every bench target (see bench/CMakeLists.txt). The count is a relaxed
+// atomic: benches only diff readings taken on the measuring thread, and a
+// handful of lost updates under contention would not change the order of
+// magnitude the perf trajectory tracks.
+#include "bench_memprobe.h"
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace gdisim::bench {
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+std::uint64_t alloc_count() { return g_alloc_count.load(std::memory_order_relaxed); }
+
+double peak_rss_mb() {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux reports KB
+}
+
+namespace {
+void* counted_alloc(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (size + align - 1) / align * align)
+                : std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+}  // namespace
+
+}  // namespace gdisim::bench
+
+void* operator new(std::size_t size) { return gdisim::bench::counted_alloc(size, 0); }
+void* operator new[](std::size_t size) { return gdisim::bench::counted_alloc(size, 0); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  return gdisim::bench::counted_alloc(size, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return gdisim::bench::counted_alloc(size, static_cast<std::size_t>(al));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return gdisim::bench::counted_alloc(size, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return gdisim::bench::counted_alloc(size, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }

@@ -1,0 +1,19 @@
+// Memory probes linked into every bench binary (bench_memprobe.cc): a
+// counting replacement of the global allocation functions plus a peak-RSS
+// reading, so every bench JSON carries memory figures alongside wall time.
+#pragma once
+
+#include <cstdint>
+
+namespace gdisim::bench {
+
+/// Number of successful global operator new / new[] calls since process
+/// start. Monotone; diff two readings to get the allocation count of a
+/// measured section.
+std::uint64_t alloc_count();
+
+/// Process peak resident set size in MB (getrusage ru_maxrss); monotone
+/// high-water mark.
+double peak_rss_mb();
+
+}  // namespace gdisim::bench

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_memprobe.h"
 #include "metrics/report.h"
 #include "sim/gdisim.h"
 
@@ -60,7 +61,8 @@ inline std::size_t bench_threads() {
 /// active_set_occupancy.
 class JsonResult {
  public:
-  explicit JsonResult(std::string bench_name) : name_(std::move(bench_name)) {
+  explicit JsonResult(std::string bench_name)
+      : name_(std::move(bench_name)), alloc_base_(alloc_count()) {
     set("bench", name_);
     set("fast_mode", fast_mode() ? 1.0 : 0.0);
   }
@@ -87,8 +89,18 @@ class JsonResult {
   }
 
   /// Writes BENCH_<name>.json; returns false (with a note on stderr) if the
-  /// file cannot be opened.
-  bool write() const {
+  /// file cannot be opened. Every bench JSON automatically carries the
+  /// process peak RSS and the heap-allocation count since this JsonResult
+  /// was constructed, so memory regressions show up in the perf trajectory
+  /// without per-bench plumbing.
+  bool write() {
+    set("peak_rss_mb", peak_rss_mb());
+    set("alloc_delta", static_cast<double>(alloc_count() - alloc_base_));
+    return write_file();
+  }
+
+ private:
+  bool write_file() const {
     const char* dir = std::getenv("GDISIM_BENCH_JSON_DIR");
     const std::string path =
         (dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/" : std::string()) +
@@ -108,7 +120,6 @@ class JsonResult {
     return true;
   }
 
- private:
   static std::string quote(const std::string& s) {
     std::string q = "\"";
     for (char c : s) {
@@ -120,6 +131,7 @@ class JsonResult {
   }
 
   std::string name_;
+  std::uint64_t alloc_base_;
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 

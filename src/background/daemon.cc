@@ -98,7 +98,8 @@ void BackgroundDaemon::archive_daemon_state(StateArchive& ar, HandlerRegistry& r
 
 std::size_t BackgroundDaemon::drain_completions(Tick now) {
   std::size_t n = 0;
-  for (auto& d : completions_.drain_visible(now)) {
+  completions_.drain_visible_into(now, drain_scratch_);
+  for (auto& d : drain_scratch_) {
     const CompletionMsg& msg = d.payload;
     auto it = live_.find(msg.instance->params().instance_serial);
     if (it == live_.end()) continue;

@@ -44,6 +44,11 @@ class BackgroundDaemon : public Agent {
   /// otherwise quiescent must stay active to absorb them on time.
   bool completions_pending() const { return !completions_.empty(); }
 
+ public:
+  void on_engine_serial(bool serial) override { completions_.set_serial(serial); }
+
+ protected:
+
   /// Hook invoked (from the interaction phase) when a run completes.
   virtual void on_run_complete(const BackgroundRunRecord& record, Tick end_tick) = 0;
 
@@ -78,6 +83,7 @@ class BackgroundDaemon : public Agent {
   /// In-flight runs keyed by instance serial (stable id, never an address).
   std::unordered_map<std::uint64_t, LiveRun> live_;
   Inbox<CompletionMsg> completions_;
+  std::vector<Delivery<CompletionMsg>> drain_scratch_;  // ARCHIVE-TRANSIENT: per-drain scratch, empty between ticks
   std::uint64_t next_serial_ = 0;
   FreshnessLedger ledger_;
   BinnedResponse response_by_hour_;

@@ -28,6 +28,7 @@ SnapshotCompat SnapshotCompat::describe(Scenario& scenario, const SimulationLoop
   SnapshotCompat c;
   c.lines.push_back("format " + std::to_string(StateArchive::kFormatVersion));
   c.lines.push_back("tick " + fmt_double(scenario.tick_seconds));
+  c.lines.push_back("scale " + fmt_double(scenario.scale));
   c.lines.push_back("master " + std::to_string(scenario.master_dc));
   c.lines.push_back("agents " + std::to_string(loop.agent_count()));
   for (std::size_t id = 0; id < loop.agent_count(); ++id) {

@@ -100,7 +100,11 @@ struct GrowthDecl {
 
 }  // namespace
 
-Scenario load_scenario(std::istream& is, const std::string& source) {
+Scenario load_scenario(std::istream& is, const std::string& source, double scale) {
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument(source + ": scale override must be > 0, got " +
+                                std::to_string(scale));
+  }
   const std::vector<Line> lines = tokenize(is, source);
 
   double tick = 0.02;
@@ -235,6 +239,7 @@ Scenario load_scenario(std::istream& is, const std::string& source) {
 
   Scenario s;
   s.tick_seconds = tick;
+  s.scale = scale;
   s.topology = builder.finish();
   s.master_dc = master.empty() ? 0 : s.topology->find_dc(master);
   s.ctx = std::make_unique<OperationContext>(*s.topology, s.master_dc);
@@ -255,21 +260,25 @@ Scenario load_scenario(std::istream& is, const std::string& source) {
       fail(source, decl.line, "population references unknown application '" + decl.app + "'");
     }
     decl.cfg.mix = OperationMix::uniform(ops);
+    // Same clamp as the canned scenarios: a scale override never silently
+    // deletes a declared population, it just shrinks it to one client.
+    const double peak = std::max(decl.peak * scale, 1.0);
     decl.cfg.curve = decl.hours.has_value()
-                         ? WorkloadCurve::business_hours(decl.peak, 0.05 * decl.peak,
+                         ? WorkloadCurve::business_hours(peak, 0.05 * peak,
                                                          decl.hours->first, decl.hours->second)
-                         : WorkloadCurve::constant(decl.peak);
+                         : WorkloadCurve::constant(peak);
     s.populations.push_back(
         std::make_unique<ClientPopulation>(decl.cfg, *s.catalog, *s.ctx, clock));
   }
 
   for (const GrowthDecl& decl : growths) {
     const DcId dc = s.topology->find_dc(decl.dc);
+    const double peak_mb = decl.peak_mb_per_hour * scale;
     s.growth.set_curve(dc, decl.hours.has_value()
                                ? WorkloadCurve::business_hours(
-                                     decl.peak_mb_per_hour, 0.03 * decl.peak_mb_per_hour,
+                                     peak_mb, 0.03 * peak_mb,
                                      decl.hours->first, decl.hours->second)
-                               : WorkloadCurve::constant(decl.peak_mb_per_hour));
+                               : WorkloadCurve::constant(peak_mb));
   }
 
   std::vector<DcId> all_dcs;
@@ -299,10 +308,10 @@ Scenario load_scenario(std::istream& is, const std::string& source) {
   return s;
 }
 
-Scenario load_scenario_file(const std::string& path) {
+Scenario load_scenario_file(const std::string& path, double scale) {
   std::ifstream in(path);
   if (!in) throw std::invalid_argument("cannot open scenario config: " + path);
-  return load_scenario(in, path);
+  return load_scenario(in, path, scale);
 }
 
 }  // namespace gdisim

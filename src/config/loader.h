@@ -42,9 +42,15 @@ namespace gdisim {
 /// Parses a scenario description. Throws std::invalid_argument on malformed
 /// input; messages use the editor-friendly "<source>:<line>: ..." form and
 /// quote the offending token.
-Scenario load_scenario(std::istream& is, const std::string& source = "<stream>");
+///
+/// `scale` multiplies the declared population peaks and growth rates
+/// (clamped so every population keeps at least one client). Hardware stays
+/// exactly as declared — the file is the operator's inventory; only the
+/// offered load is scaled. Must be > 0.
+Scenario load_scenario(std::istream& is, const std::string& source = "<stream>",
+                       double scale = 1.0);
 
 /// Convenience: load from a file path (errors carry the path as the source).
-Scenario load_scenario_file(const std::string& path);
+Scenario load_scenario_file(const std::string& path, double scale = 1.0);
 
 }  // namespace gdisim

@@ -216,11 +216,15 @@ void build_wan(InfrastructureBuilder& builder) {
 void add_population(Scenario& s, const std::string& app, DcId dc, double peak, double scale,
                     const GlobalOptions& options, const TickClock& clock, double size_mb,
                     double jitter) {
-  if (peak * scale < 0.5) return;
+  // Tiny scales used to drop a small population entirely when its peak
+  // rounded below one client, which silently changed the (app, DC) coverage
+  // of a scale sweep. Clamp to at least one client instead so every
+  // population exists at every scale; the shapes stay linear above that.
+  const double scaled_peak = std::max(peak * scale, 1.0);
   ClientPopulationConfig cfg;
   cfg.name = app + "@" + kGlobalDcNames[dc];
   cfg.dc = dc;
-  cfg.curve = WorkloadCurve::business_hours(peak * scale, 0.05 * peak * scale,
+  cfg.curve = WorkloadCurve::business_hours(scaled_peak, 0.05 * scaled_peak,
                                             kShiftStart[dc], kShiftEnd[dc]);
   cfg.mix = OperationMix::uniform(s.catalog->operations_of(app));
   cfg.think_time_mean_s = options.think_time_mean_s;
@@ -308,6 +312,7 @@ Scenario make_consolidated_scenario(const GlobalOptions& options) {
   s.catalog = std::make_unique<OperationCatalog>(OperationCatalog::standard());
   s.apm = AccessPatternMatrix::single_master(kNumDcs, s.master_dc);
   s.growth = make_growth(options);
+  s.scale = options.scale;
 
   s.tick_seconds = kGlobalTickSeconds;
   const TickClock clock(kGlobalTickSeconds);
@@ -379,6 +384,7 @@ Scenario make_multimaster_scenario(const GlobalOptions& options) {
   s.catalog = std::make_unique<OperationCatalog>(OperationCatalog::standard());
   s.apm = multimaster_apm();
   s.growth = make_growth(options);
+  s.scale = options.scale;
 
   s.tick_seconds = kGlobalTickSeconds;
   const TickClock clock(kGlobalTickSeconds);

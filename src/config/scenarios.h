@@ -39,6 +39,10 @@ struct Scenario {
   AccessPatternMatrix apm;  // ARCHIVE-TRANSIENT: construction-time configuration
   DcId master_dc = 0;  // ARCHIVE-TRANSIENT: build-time structure; SnapshotCompat guards shape instead
 
+  /// Population/hardware scale the scenario was built with (1.0 for
+  /// unscaled/config-file scenarios unless a loader override was given).
+  double scale = 1.0;  // ARCHIVE-TRANSIENT: build-time structure; SnapshotCompat guards shape instead
+
   std::vector<std::unique_ptr<ClientPopulation>> populations;
   std::vector<std::unique_ptr<SeriesLauncher>> launchers;
   std::vector<std::unique_ptr<SynchRepDaemon>> synchreps;

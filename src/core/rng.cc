@@ -26,8 +26,7 @@ double Rng::next_normal(double mean, double stddev) {
 Rng Rng::split(std::string_view purpose) const {
   // Fold the current state with the purpose hash through SplitMix64 so child
   // streams are decorrelated from the parent and from each other.
-  std::uint64_t folded = s_[0] ^ (s_[1] * 0x9e3779b97f4a7c15ULL) ^ stable_hash(purpose);
-  return Rng(SplitMix64(folded).next());
+  return split_hashed(stable_hash(purpose));
 }
 
 void Rng::archive_state(StateArchive& ar) {
@@ -41,6 +40,17 @@ std::uint64_t stable_hash(std::string_view s) {
     h *= 0x100000001b3ULL;
   }
   return h;
+}
+
+std::uint64_t stable_hash_decimal(std::uint64_t v) {
+  char buf[20];  // 2^64 has 20 decimal digits
+  char* end = buf + sizeof(buf);
+  char* p = end;
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  return stable_hash(std::string_view(p, static_cast<std::size_t>(end - p)));
 }
 
 }  // namespace gdisim

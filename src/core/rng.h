@@ -82,6 +82,15 @@ class Rng {
   /// Derives an independent child stream; stable across platforms.
   Rng split(std::string_view purpose) const;
 
+  /// Same derivation from a pre-computed purpose hash: split_hashed(
+  /// stable_hash(s)) is bit-identical to split(s). Hot launch paths cache
+  /// the hash once instead of re-hashing a string per operation.
+  Rng split_hashed(std::uint64_t purpose_hash) const {
+    const std::uint64_t folded =
+        s_[0] ^ (s_[1] * 0x9e3779b97f4a7c15ULL) ^ purpose_hash;
+    return Rng(SplitMix64(folded).next());
+  }
+
   /// Snapshot round trip: the four xoshiro256** state words, i.e. the exact
   /// stream position.
   void archive_state(StateArchive& ar);
@@ -96,5 +105,9 @@ class Rng {
 
 /// FNV-1a hash used to fold purpose strings into seeds.
 std::uint64_t stable_hash(std::string_view s);
+
+/// stable_hash of the decimal rendering of `v` without materializing the
+/// string: stable_hash_decimal(v) == stable_hash(std::to_string(v)).
+std::uint64_t stable_hash_decimal(std::uint64_t v);
 
 }  // namespace gdisim

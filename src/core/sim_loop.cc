@@ -36,6 +36,7 @@ AgentId SimulationLoop::add_agent(Agent* agent) {
     // its own next_wake_tick answer takes over from there.
     immediate_.push_back(id);
   }
+  if (serial_hint_state_ == 1) agent->on_engine_serial(true);
   stats_.agents = agents_.size();
   stats_.per_agent_runs.push_back(0);
   return id;
@@ -216,6 +217,14 @@ void SimulationLoop::rearm_active(Tick now) {
 void SimulationLoop::step() {
   const Tick now = now_;
   engine_serial_ = engine_->serial();
+  // Bind (or rebind after a set_engine swap) the engine-mode hint: under a
+  // serial engine, inboxes drop their cross-thread synchronization. Checked
+  // every step so the hint can never be stale for the phases that follow.
+  const int serial_now = engine_serial_ ? 1 : 0;
+  if (serial_hint_state_ != serial_now) {
+    for (Agent* agent : agents_) agent->on_engine_serial(engine_serial_);
+    serial_hint_state_ = serial_now;
+  }
   if (active_mode_ && !hints_bound_) {
     // The flag array no longer reallocates (agents register before the run
     // starts), so each agent can keep a direct pointer to its flag.

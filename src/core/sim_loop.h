@@ -165,6 +165,9 @@ class SimulationLoop : public AgentWakeScheduler {
   Tick now_ = 0;
   bool active_mode_;
   bool engine_serial_ = false;  // ARCHIVE-TRANSIENT: derived from the engine at construction
+  /// -1 until the first step binds the engine-mode hint to every agent;
+  /// then 0/1 mirroring engine_serial_ so a set_engine swap rebinds.
+  int serial_hint_state_ = -1;  // ARCHIVE-TRANSIENT: engine wiring, rebound each run
   bool hints_bound_ = false;  // ARCHIVE-TRANSIENT: wiring flag; hints rebind on restore
 
   // --- Active-set scheduler state (master-only except where noted). ---

@@ -122,6 +122,8 @@ class Component : public Agent {
     for (auto& d : drain_scratch_) accept(d.payload);
   }
 
+  void on_engine_serial(bool serial) override { inbox_.set_serial(serial); }
+
   void on_tick(Tick now) final {
     // Load-then-store beats an unconditional exchange here: the bucket is
     // almost always zero, and any writer during tick `now` targets the

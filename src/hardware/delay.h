@@ -3,8 +3,18 @@
 // Used for client-side processing: thousands of client machines are not a
 // shared bottleneck, so their per-message CPU/disk cost is modeled as a pure
 // delay with no contention (work = seconds of delay).
+//
+// Hot-state layout (DESIGN.md "Memory layout"): the in-flight set is
+// struct-of-arrays — the countdown streams over a dense array of `work`
+// doubles, and the cross-tick minimum is cached so a tick where the
+// smallest job survives (`fl(min - dt) > 1e-12`, which by monotonicity of
+// IEEE subtraction means every job survives) reduces to one vectorizable
+// subtract pass. Arithmetic per element is identical to the former
+// array-of-structs loop, so results are bit-identical.
 #pragma once
 
+#include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "hardware/component.h"
@@ -15,43 +25,88 @@ class DelayComponent final : public Component {
  public:
   DelayComponent() = default;
 
-  std::size_t queue_length() const override { return in_flight_.size(); }
+  std::size_t queue_length() const override { return work_.size(); }
   double capacity_per_second() const override { return 0.0; }
   /// Delay stations serve work measured in seconds at unit rate.
   double single_job_rate() const override { return 1.0; }
 
  protected:
-  double raw_utilization() const override { return in_flight_.empty() ? 0.0 : 1.0; }
-  void accept(StageJob job) override { in_flight_.push_back(job); }
+  double raw_utilization() const override { return work_.empty() ? 0.0 : 1.0; }
+  void accept(StageJob job) override {
+    min_work_ = std::min(min_work_, job.work);
+    work_.push_back(job.work);
+    rest_.push_back(job);
+  }
 
   void advance_tick(Tick now, double dt) override {
+    const std::size_t n = work_.size();
+    if (n == 0) return;
+
+    // No-finish fast path: subtraction by a constant is monotone in IEEE
+    // arithmetic, so if the smallest job survives the threshold every job
+    // does and the survivors' minimum is exactly fl(min - dt). The loop
+    // below would store the identical fl(work[i] - dt) for every job and
+    // touch nothing else, so this branch is bit-for-bit equivalent.
+    const double survivor_min = min_work_ - dt;
+    if (survivor_min > 1e-12) {
+      double* w = work_.data();
+      for (std::size_t i = 0; i < n; ++i) w[i] -= dt;
+      min_work_ = survivor_min;
+      return;
+    }
+
     // In-place compaction (stable, same survivor order as a copy pass) so a
     // busy station does not allocate every tick. Completion handlers never
-    // touch in_flight_ directly — forwarded work goes through inboxes.
+    // touch the in-flight set directly — forwarded work goes through
+    // inboxes. The same pass rebuilds the survivors' cached minimum.
     std::size_t keep = 0;
-    for (std::size_t i = 0; i < in_flight_.size(); ++i) {
-      StageJob& job = in_flight_[i];
-      job.work -= dt;
-      if (job.work <= 1e-12) {
-        job.handler->on_stage_complete(*this, now, job.tag);
+    double min_w = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = work_[i] - dt;
+      if (w <= 1e-12) {
+        rest_[i].handler->on_stage_complete(*this, now, rest_[i].tag);
       } else {
-        if (keep != i) in_flight_[keep] = job;
+        min_w = std::min(min_w, w);
+        work_[keep] = w;
+        if (keep != i) rest_[keep] = rest_[i];
         ++keep;
       }
     }
-    in_flight_.resize(keep);
+    work_.resize(keep);
+    rest_.resize(keep);
+    min_work_ = min_w;
   }
 
   void archive_discipline(StateArchive& ar, HandlerRegistry& reg) override {
     ar.section("delay");
-    std::size_t n = in_flight_.size();
+    std::size_t n = work_.size();
     ar.size_value(n);
-    if (ar.reading()) in_flight_.assign(n, StageJob{});
-    for (StageJob& job : in_flight_) archive_stage_job(ar, reg, job);
+    if (ar.reading()) {
+      work_.assign(n, 0.0);
+      rest_.assign(n, StageJob{});
+    }
+    // Byte layout identical to the former vector<StageJob>: each job's
+    // `work` field is synced from the dense work_ array before writing and
+    // back into it after reading.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ar.writing()) rest_[i].work = work_[i];
+      archive_stage_job(ar, reg, rest_[i]);
+      if (ar.reading()) work_[i] = rest_[i].work;
+    }
+    if (ar.reading()) {
+      min_work_ = std::numeric_limits<double>::infinity();
+      for (double w : work_) min_work_ = std::min(min_work_, w);
+    }
   }
 
  private:
-  std::vector<StageJob> in_flight_;
+  // In-flight set, struct-of-arrays: parallel (work countdown, job fields).
+  // rest_[i].work is stale between archives; work_[i] is authoritative.
+  std::vector<double> work_;
+  std::vector<StageJob> rest_;
+  /// Cached min of work_ (infinity when empty); maintained on accept and by
+  /// the countdown pass. ARCHIVE-TRANSIENT: derived, rebuilt on restore.
+  double min_work_ = std::numeric_limits<double>::infinity();
 };
 
 }  // namespace gdisim

@@ -49,8 +49,11 @@ void RaidComponent::finish_branch(BranchJob* branch, Tick now) {
 }
 
 void RaidComponent::advance_tick(Tick now, double dt) {
+  // Stages drain into the shared scratch (cleared by the queue) so a busy
+  // array advances without allocating.
   // 1. Disk array controller cache.
-  for (JobCtx ctx : dacc_.advance(dt).completed) {
+  dacc_.advance(dt, scratch_);
+  for (JobCtx ctx : scratch_) {
     auto* job = static_cast<RaidJob*>(ctx);
     if (rng_.next_double() < spec_.dacc_hit_rate) {
       complete(job, now);
@@ -61,7 +64,8 @@ void RaidComponent::advance_tick(Tick now, double dt) {
 
   // 2. Per-disk controller caches.
   for (unsigned i = 0; i < spec_.disks; ++i) {
-    for (JobCtx ctx : dcc_[i].advance(dt).completed) {
+    dcc_[i].advance(dt, scratch_);
+    for (JobCtx ctx : scratch_) {
       auto* branch = static_cast<BranchJob*>(ctx);
       if (rng_.next_double() < spec_.dcc_hit_rate) {
         finish_branch(branch, now);
@@ -77,11 +81,13 @@ void RaidComponent::advance_tick(Tick now, double dt) {
   // 3. Disk drives.
   double disk_util = 0.0;
   for (unsigned i = 0; i < spec_.disks; ++i) {
-    for (JobCtx ctx : hdd_[i].advance(dt).completed) {
+    hdd_[i].advance(dt, scratch_);
+    for (JobCtx ctx : scratch_) {
       finish_branch(static_cast<BranchJob*>(ctx), now);
     }
     disk_util += hdd_[i].last_utilization();
   }
+  scratch_.clear();
   last_disk_utilization_ = disk_util / static_cast<double>(spec_.disks);
 }
 

@@ -71,6 +71,7 @@ class RaidComponent final : public Component {
   /// so no pointer-keyed live set is needed.
   JobPool<RaidJob> jobs_;
   JobPool<BranchJob> branch_jobs_;
+  std::vector<JobCtx> scratch_;  // ARCHIVE-TRANSIENT: per-advance completion scratch, empty between ticks
   double last_disk_utilization_ = 0.0;
 };
 

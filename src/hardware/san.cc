@@ -45,14 +45,19 @@ void SanComponent::finish_branch(BranchJob* branch, Tick now) {
 }
 
 void SanComponent::advance_tick(Tick now, double dt) {
+  // Every stage drains into the shared scratch (cleared by the queue) so a
+  // busy SAN advances without allocating; the downstream enqueues never
+  // touch the scratch mid-iteration.
   // 1. Fiber channel switch -> disk array controller cache.
-  for (JobCtx ctx : fcsw_.advance(dt).completed) {
+  fcsw_.advance(dt, scratch_);
+  for (JobCtx ctx : scratch_) {
     auto* job = static_cast<SanJob*>(ctx);
     dacc_.enqueue(job->stage.work, job);
   }
 
   // 2. Controller cache: hit bypasses the loop and the disks.
-  for (JobCtx ctx : dacc_.advance(dt).completed) {
+  dacc_.advance(dt, scratch_);
+  for (JobCtx ctx : scratch_) {
     auto* job = static_cast<SanJob*>(ctx);
     if (rng_.next_double() < spec_.dacc_hit_rate) {
       complete(job, now);
@@ -62,7 +67,8 @@ void SanComponent::advance_tick(Tick now, double dt) {
   }
 
   // 3. Arbitrated loop -> fork across disks.
-  for (JobCtx ctx : fcal_.advance(dt).completed) {
+  fcal_.advance(dt, scratch_);
+  for (JobCtx ctx : scratch_) {
     auto* job = static_cast<SanJob*>(ctx);
     job->outstanding = spec_.disks;
     const double share = job->stage.work / static_cast<double>(spec_.disks);
@@ -73,7 +79,8 @@ void SanComponent::advance_tick(Tick now, double dt) {
 
   // 4. Per-disk controller caches.
   for (unsigned i = 0; i < spec_.disks; ++i) {
-    for (JobCtx ctx : dcc_[i].advance(dt).completed) {
+    dcc_[i].advance(dt, scratch_);
+    for (JobCtx ctx : scratch_) {
       auto* branch = static_cast<BranchJob*>(ctx);
       if (rng_.next_double() < spec_.dcc_hit_rate) {
         finish_branch(branch, now);
@@ -88,11 +95,13 @@ void SanComponent::advance_tick(Tick now, double dt) {
   // 5. Disk drives.
   double disk_util = 0.0;
   for (unsigned i = 0; i < spec_.disks; ++i) {
-    for (JobCtx ctx : hdd_[i].advance(dt).completed) {
+    hdd_[i].advance(dt, scratch_);
+    for (JobCtx ctx : scratch_) {
       finish_branch(static_cast<BranchJob*>(ctx), now);
     }
     disk_util += hdd_[i].last_utilization();
   }
+  scratch_.clear();
   last_disk_utilization_ = disk_util / static_cast<double>(spec_.disks);
 }
 

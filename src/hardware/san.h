@@ -71,6 +71,7 @@ class SanComponent final : public Component {
   /// pools on destruction, so no pointer-keyed live set is needed.
   JobPool<SanJob> jobs_;
   JobPool<BranchJob> branch_jobs_;
+  std::vector<JobCtx> scratch_;  // ARCHIVE-TRANSIENT: per-advance completion scratch, empty between ticks
   double last_disk_utilization_ = 0.0;
 };
 

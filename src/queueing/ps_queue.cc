@@ -21,22 +21,25 @@ PsQueue::PsQueue(double total_rate, std::size_t max_concurrent, double latency_s
 void PsQueue::enqueue(double work, JobCtx ctx) {
   GDISIM_AUDIT_NONNEG(work, "PsQueue: negative work enqueued");
   GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kPsJob);
-  QueuedJob job{work, ctx, seq_++};
+  const std::uint64_t seq = seq_++;
   if (work <= 0.0) {
     // Pure-latency job (e.g. zero-byte control message): skip service.
-    latency_pipe_.push_back(LatencyJob{latency_seconds_, ctx, job.enqueue_seq});
+    push_pipe(latency_seconds_, ctx, seq);
     return;
   }
-  if (active_.size() < max_concurrent_) {
-    active_.push_back(job);
+  if (active_rem_.size() < max_concurrent_) {
+    push_active(work, ctx, seq);
   } else {
-    waiting_.push_back(job);
+    waiting_.push_back(QueuedJob{work, ctx, seq});
   }
 }
 
 void PsQueue::admit_waiting() {
-  while (active_.size() < max_concurrent_ && !waiting_.empty()) {
-    active_.push_back(waiting_.front());
+  while (active_rem_.size() < max_concurrent_ && !waiting_.empty()) {
+    const QueuedJob& j = waiting_.front();
+    // The caller (serve pass) folds newly admitted jobs into its running
+    // minimum itself, so push_active's min update is redundant but harmless.
+    push_active(j.remaining, j.ctx, j.enqueue_seq);
     waiting_.pop_front();
   }
 }
@@ -44,18 +47,50 @@ void PsQueue::admit_waiting() {
 void PsQueue::archive_state(StateArchive& ar, const JobCtxEncoder& enc,
                             const JobCtxDecoder& dec) {
   ar.section("ps");
-  const auto rw_jobs = [&](auto& container) {
-    std::size_t n = container.size();
+  // Byte layout identical to the former array-of-structs implementation:
+  // count, then (remaining, ctx, seq) triples per job.
+  const auto write_soa = [&](std::vector<double>& rem, std::vector<JobCtx>& ctx,
+                             std::vector<std::uint64_t>& seq) {
+    std::size_t n = rem.size();
     ar.size_value(n);
     if (ar.writing()) {
-      for (QueuedJob& j : container) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ar.f64(rem[i]);
+        std::uint64_t code = enc(ctx[i]);
+        ar.u64(code);
+        ar.u64(seq[i]);
+      }
+    } else {
+      rem.clear();
+      ctx.clear();
+      seq.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        double r = 0.0;
+        ar.f64(r);
+        std::uint64_t code = 0;
+        ar.u64(code);
+        std::uint64_t s = 0;
+        ar.u64(s);
+        rem.push_back(r);
+        ctx.push_back(dec(code));
+        seq.push_back(s);
+        GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kPsJob);
+      }
+    }
+  };
+  write_soa(active_rem_, active_ctx_, active_seq_);
+  {
+    std::size_t n = waiting_.size();
+    ar.size_value(n);
+    if (ar.writing()) {
+      for (QueuedJob& j : waiting_) {
         ar.f64(j.remaining);
         std::uint64_t code = enc(j.ctx);
         ar.u64(code);
         ar.u64(j.enqueue_seq);
       }
     } else {
-      container.clear();
+      waiting_.clear();
       for (std::size_t i = 0; i < n; ++i) {
         QueuedJob j;
         ar.f64(j.remaining);
@@ -63,47 +98,31 @@ void PsQueue::archive_state(StateArchive& ar, const JobCtxEncoder& enc,
         ar.u64(code);
         j.ctx = dec(code);
         ar.u64(j.enqueue_seq);
-        container.push_back(j);
+        waiting_.push_back(j);
         GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kPsJob);
       }
     }
-  };
-  rw_jobs(active_);
-  rw_jobs(waiting_);
+  }
   if (ar.reading()) {
     // A scenario fork may have lowered the admission cap.
-    while (active_.size() > max_concurrent_) {
-      waiting_.push_front(active_.back());
-      active_.pop_back();
+    while (active_rem_.size() > max_concurrent_) {
+      waiting_.push_front(
+          QueuedJob{active_rem_.back(), active_ctx_.back(), active_seq_.back()});
+      active_rem_.pop_back();
+      active_ctx_.pop_back();
+      active_seq_.pop_back();
     }
   }
-  std::size_t pipe = latency_pipe_.size();
-  ar.size_value(pipe);
-  if (ar.writing()) {
-    for (LatencyJob& j : latency_pipe_) {
-      ar.f64(j.remaining_delay);
-      std::uint64_t code = enc(j.ctx);
-      ar.u64(code);
-      ar.u64(j.seq);
-    }
-  } else {
-    latency_pipe_.clear();
-    for (std::size_t i = 0; i < pipe; ++i) {
-      LatencyJob j{0.0, nullptr, 0};
-      ar.f64(j.remaining_delay);
-      std::uint64_t code = 0;
-      ar.u64(code);
-      j.ctx = dec(code);
-      ar.u64(j.seq);
-      latency_pipe_.push_back(j);
-      GDISIM_AUDIT_JOB_SPAWNED(audit::Category::kPsJob);
-    }
-  }
+  write_soa(pipe_delay_, pipe_ctx_, pipe_seq_);
   ar.u64(seq_);
   ar.f64(last_utilization_);
   ar.f64(busy_seconds_);
   ar.f64(elapsed_seconds_);
   ar.u64(completed_jobs_);
+  if (ar.reading()) {
+    active_min_ = std::numeric_limits<double>::infinity();
+    for (double r : active_rem_) active_min_ = std::min(active_min_, r);
+  }
 }
 
 AdvanceResult PsQueue::advance(double dt) {
@@ -116,15 +135,51 @@ double PsQueue::advance_busy(double dt, std::vector<JobCtx>& completed) {
   // 1. Serve the active set, splitting capacity equally. Jobs that finish
   //    mid-step release their share to the others; iterate in sub-steps
   //    until the budget is exhausted or nothing is active.
+  //
+  // The per-sub-step minimum is maintained over `remaining` (not the
+  // quotient): division by the positive constant `share` is monotone in
+  // IEEE arithmetic, so min(remaining)/share == min(remaining/share)
+  // bit-for-bit and the fused serve+min pass below reproduces the exact
+  // step sizes a separate min-scan would compute. The entry minimum comes
+  // from the cached cross-tick active_min_ (maintained by enqueue and by
+  // the previous serve pass), so the pass never rescans just to start.
   double remaining_dt = dt;
   double work_done = 0.0;
-  while (remaining_dt > 0.0 && !active_.empty()) {
-    const double share = total_rate_ / static_cast<double>(active_.size());
+  double min_remaining = active_min_;
+  while (remaining_dt > 0.0 && !active_rem_.empty()) {
+    const std::size_t n = active_rem_.size();
+    const double share = total_rate_ / static_cast<double>(n);
     // Time until the first active job finishes at the current share.
-    double min_finish = std::numeric_limits<double>::infinity();
-    for (const QueuedJob& j : active_) min_finish = std::min(min_finish, j.remaining / share);
+    const double min_finish = min_remaining / share;
     const double step = std::min(remaining_dt, min_finish);
     const double served_each = share * step;
+
+    // No-finish fast path. IEEE subtraction by a constant is monotone
+    // (a <= b implies fl(a-c) <= fl(b-c)), so if the smallest job survives
+    // the threshold test — fl(min - c) > 1e-12 — every job does, and the
+    // survivors' minimum is exactly fl(min - c). The fused loop below would
+    // store the identical fl(rem[i] - c) for every job, touch no ctx/seq
+    // (keep == i throughout), admit nothing (the active set did not shrink)
+    // and accumulate the identical n sequential `work_done += c` adds, so
+    // this branch is bit-for-bit equivalent — it only skips the per-element
+    // finish test, compaction bookkeeping and the min reduction chain,
+    // letting the subtraction stream vectorize. This is the common sub-step:
+    // the last sub-step of every busy advance ends by exhausting dt, not by
+    // finishing a job.
+    const double survivor_min = min_remaining - served_each;
+    if (survivor_min > 1e-12) {
+      const std::size_t n_active = active_rem_.size();
+      double* rem = active_rem_.data();
+      for (std::size_t i = 0; i < n_active; ++i) rem[i] -= served_each;
+      // Same n sequential adds the fused loop performs; the interleaving
+      // with the (independent) subtractions does not affect the bits.
+      for (std::size_t i = 0; i < n_active; ++i) work_done += served_each;
+      min_remaining = survivor_min;
+      remaining_dt -= step;
+      if (step <= 0.0) break;  // numerical safety
+      continue;
+    }
+
     // Sub-step end measured from the start of this advance(); used so a job
     // entering the latency pipe mid-step is not charged delay for time that
     // elapsed before it finished service (phase 2 subtracts the full dt).
@@ -132,44 +187,71 @@ double PsQueue::advance_busy(double dt, std::vector<JobCtx>& completed) {
 
     // In-place compaction (stable, same order a copy-the-survivors pass
     // would produce) so a busy queue does not allocate every sub-step.
+    // The same pass computes the survivors' minimum for the next sub-step.
+    // The serve arithmetic streams over the dense remaining[] array; ctx/seq
+    // are only touched for jobs that finish or move during compaction.
     std::size_t keep = 0;
-    for (std::size_t i = 0; i < active_.size(); ++i) {
-      QueuedJob& j = active_[i];
-      j.remaining -= served_each;
+    min_remaining = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = active_rem_[i] - served_each;
       work_done += served_each;
-      if (j.remaining <= 1e-12) {
-        latency_pipe_.push_back(LatencyJob{latency_seconds_ + elapsed_at_finish, j.ctx, j.enqueue_seq});
+      if (r <= 1e-12) {
+        push_pipe(latency_seconds_ + elapsed_at_finish, active_ctx_[i], active_seq_[i]);
       } else {
-        if (keep != i) active_[keep] = j;
+        min_remaining = std::min(min_remaining, r);
+        active_rem_[keep] = r;
+        if (keep != i) {
+          active_ctx_[keep] = active_ctx_[i];
+          active_seq_[keep] = active_seq_[i];
+        }
         ++keep;
       }
     }
-    active_.resize(keep);
+    active_rem_.resize(keep);
+    active_ctx_.resize(keep);
+    active_seq_.resize(keep);
     admit_waiting();
+    for (std::size_t i = keep; i < active_rem_.size(); ++i)
+      min_remaining = std::min(min_remaining, active_rem_[i]);
     remaining_dt -= step;
     if (step <= 0.0) break;  // numerical safety
   }
+  active_min_ = min_remaining;
 
   // 2. Drain the latency pipe (in place, same compaction argument as above).
-  // Sort by seq so completion order is deterministic and FIFO-like.
-  if (latency_pipe_.size() > 1) {
-    std::sort(latency_pipe_.begin(), latency_pipe_.end(),
-              [](const LatencyJob& a, const LatencyJob& b) { return a.seq < b.seq; });
-  }
+  // Each entry's delay countdown is independent of container order, so the
+  // pipe itself is left unsorted; only the (few) jobs completing this tick
+  // are sorted by their unique seq, which yields exactly the completion
+  // order the previous sort-the-whole-pipe-every-advance scheme produced
+  // while skipping the O(n log n) pass on every busy tick.
+  finished_scratch_.clear();
   std::size_t delayed_keep = 0;
-  for (std::size_t i = 0; i < latency_pipe_.size(); ++i) {
-    LatencyJob& j = latency_pipe_[i];
-    j.remaining_delay -= dt;
-    if (j.remaining_delay <= 1e-12) {
-      completed.push_back(j.ctx);
-      ++completed_jobs_;
-      GDISIM_AUDIT_JOB_COMPLETED(audit::Category::kPsJob);
+  const std::size_t pipe_n = pipe_delay_.size();
+  for (std::size_t i = 0; i < pipe_n; ++i) {
+    const double d = pipe_delay_[i] - dt;
+    if (d <= 1e-12) {
+      finished_scratch_.push_back(FinishedJob{pipe_seq_[i], pipe_ctx_[i]});
     } else {
-      if (delayed_keep != i) latency_pipe_[delayed_keep] = j;
+      pipe_delay_[delayed_keep] = d;
+      if (delayed_keep != i) {
+        pipe_ctx_[delayed_keep] = pipe_ctx_[i];
+        pipe_seq_[delayed_keep] = pipe_seq_[i];
+      }
       ++delayed_keep;
     }
   }
-  latency_pipe_.resize(delayed_keep);
+  pipe_delay_.resize(delayed_keep);
+  pipe_ctx_.resize(delayed_keep);
+  pipe_seq_.resize(delayed_keep);
+  if (finished_scratch_.size() > 1) {
+    std::sort(finished_scratch_.begin(), finished_scratch_.end(),
+              [](const FinishedJob& a, const FinishedJob& b) { return a.seq < b.seq; });
+  }
+  for (const FinishedJob& f : finished_scratch_) {
+    completed.push_back(f.ctx);
+    ++completed_jobs_;
+    GDISIM_AUDIT_JOB_COMPLETED(audit::Category::kPsJob);
+  }
 
   const double capacity = total_rate_ * dt;
   last_utilization_ = capacity > 0.0 ? work_done / capacity : 0.0;

@@ -7,10 +7,19 @@
 // After a job's work is fully served it remains in a latency pipe for the
 // configured propagation delay before completing (thesis: "the latency in
 // milliseconds is a constant value ... added to the processing time").
+//
+// Hot-state layout (DESIGN.md "Memory layout"): the active set and the
+// latency pipe are struct-of-arrays — the per-tick serve pass streams over a
+// dense array of `remaining` doubles (8 bytes/job) instead of 24-byte job
+// structs, and the cross-tick minimum of `remaining` is cached so the pass
+// never rescans just to size the first sub-step. All arithmetic (order of
+// subtractions, comparisons and min updates) is identical to the
+// array-of-structs implementation, so results are bit-identical.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <vector>
 
 #include "queueing/job.h"
@@ -36,7 +45,7 @@ class PsQueue {
   double advance(double dt, std::vector<JobCtx>& completed) {
     completed.clear();
     if (dt <= 0.0) return 0.0;
-    if (active_.empty() && latency_pipe_.empty()) {
+    if (active_rem_.empty() && pipe_delay_.empty()) {
       last_utilization_ = 0.0;
       elapsed_seconds_ += dt;
       return 0.0;
@@ -44,9 +53,9 @@ class PsQueue {
     return advance_busy(dt, completed);
   }
 
-  std::size_t active() const { return active_.size(); }
+  std::size_t active() const { return active_rem_.size(); }
   std::size_t waiting() const { return waiting_.size(); }
-  std::size_t in_latency() const { return latency_pipe_.size(); }
+  std::size_t in_latency() const { return pipe_delay_.size(); }
   std::size_t total_jobs() const { return active() + waiting() + in_latency(); }
 
   double total_rate() const { return total_rate_; }
@@ -68,17 +77,28 @@ class PsQueue {
   /// Calls fn(ctx) for every in-flight context, in archive order.
   template <typename Fn>
   void for_each_ctx(Fn&& fn) const {
-    for (const QueuedJob& j : active_) fn(j.ctx);
+    for (JobCtx ctx : active_ctx_) fn(ctx);
     for (const QueuedJob& j : waiting_) fn(j.ctx);
-    for (const LatencyJob& j : latency_pipe_) fn(j.ctx);
+    for (JobCtx ctx : pipe_ctx_) fn(ctx);
   }
 
  private:
-  struct LatencyJob {
-    double remaining_delay;
-    JobCtx ctx;
+  struct FinishedJob {
     std::uint64_t seq;
+    JobCtx ctx;
   };
+
+  void push_active(double remaining, JobCtx ctx, std::uint64_t seq) {
+    active_rem_.push_back(remaining);
+    active_ctx_.push_back(ctx);
+    active_seq_.push_back(seq);
+    active_min_ = std::min(active_min_, remaining);
+  }
+  void push_pipe(double delay, JobCtx ctx, std::uint64_t seq) {
+    pipe_delay_.push_back(delay);
+    pipe_ctx_.push_back(ctx);
+    pipe_seq_.push_back(seq);
+  }
 
   void admit_waiting();
   double advance_busy(double dt, std::vector<JobCtx>& completed);
@@ -86,9 +106,20 @@ class PsQueue {
   double total_rate_;  // ARCHIVE-TRANSIENT: immutable service-rate configuration
   std::size_t max_concurrent_;
   double latency_seconds_;  // ARCHIVE-TRANSIENT: immutable service-time configuration
-  std::vector<QueuedJob> active_;
+  // Active set, struct-of-arrays: parallel (remaining, ctx, enqueue_seq).
+  std::vector<double> active_rem_;
+  std::vector<JobCtx> active_ctx_;
+  std::vector<std::uint64_t> active_seq_;
+  /// Cached min of active_rem_ (infinity when empty); maintained on enqueue
+  /// and by the serve pass. ARCHIVE-TRANSIENT: derived, rebuilt on restore.
+  double active_min_ = std::numeric_limits<double>::infinity();
   std::deque<QueuedJob> waiting_;
-  std::vector<LatencyJob> latency_pipe_;
+  // Latency pipe, struct-of-arrays: parallel (remaining_delay, ctx, seq).
+  std::vector<double> pipe_delay_;
+  std::vector<JobCtx> pipe_ctx_;
+  std::vector<std::uint64_t> pipe_seq_;
+  // ARCHIVE-TRANSIENT: per-advance scratch, empty between ticks
+  std::vector<FinishedJob> finished_scratch_;
   std::uint64_t seq_ = 0;
   double last_utilization_ = 0.0;
   double busy_seconds_ = 0.0;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/archive.h"
+#include "core/rng.h"
 #include "hardware/datacenter.h"
 #include "software/resource.h"
 
@@ -74,6 +75,12 @@ struct Step {
 struct CascadeSpec {
   std::string name;
   std::vector<Step> steps;
+  /// Cached stable_hash(name) so hot launch paths never re-hash the string;
+  /// 0 means "not sealed yet" and readers fall back to hashing on demand.
+  std::uint64_t name_hash = 0;  // ARCHIVE-TRANSIENT: derived from name, recomputed on read
+  /// Dense catalog id (assigned by OperationCatalog::add); launchers index
+  /// per-operation statistics tables by this instead of by name.
+  std::uint32_t op_id = 0;  // ARCHIVE-TRANSIENT: catalog wiring; archived specs are daemon-built
 
   std::size_t total_messages() const {
     std::size_t n = 0;
@@ -109,6 +116,7 @@ inline void archive_endpoint(StateArchive& ar, Endpoint& ep) {
 inline void archive_cascade_spec(StateArchive& ar, CascadeSpec& spec) {
   ar.section("cascade");
   ar.str(spec.name);
+  if (ar.reading()) spec.name_hash = stable_hash(spec.name);
   std::size_t nsteps = spec.steps.size();
   ar.size_value(nsteps);
   if (ar.reading()) spec.steps.resize(nsteps);
@@ -180,7 +188,10 @@ class CascadeBuilder {
     return *this;
   }
 
-  CascadeSpec build() { return std::move(spec_); }
+  CascadeSpec build() {
+    spec_.name_hash = stable_hash(spec_.name);
+    return std::move(spec_);
+  }
 
  private:
   CascadeSpec spec_;

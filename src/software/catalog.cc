@@ -155,6 +155,7 @@ CascadeSpec cad_save() {
 CascadeSpec vis_variant(const CascadeSpec& cad, const std::string& name, double cost_scale) {
   CascadeSpec out = cad;
   out.name = name;
+  out.name_hash = stable_hash(name);  // the copy carries CAD's cached hash
   for (auto& step : out.steps) {
     for (auto& branch : step.branches) {
       for (auto& m : branch.messages) {
@@ -235,7 +236,21 @@ OperationCatalog OperationCatalog::standard() {
 }
 
 void OperationCatalog::add(CascadeSpec spec) {
-  ops_[spec.name] = std::move(spec);
+  // Always recompute: a spec derived by copy-and-rename (e.g. the VIS
+  // variants of the CAD cascades) would otherwise carry the source's hash.
+  spec.name_hash = stable_hash(spec.name);
+  auto it = ops_.find(spec.name);
+  if (it == ops_.end()) {
+    spec.op_id = static_cast<std::uint32_t>(by_id_.size());
+    it = ops_.emplace(spec.name, std::move(spec)).first;
+    by_id_.push_back(&it->second);
+  } else {
+    // Replacing an existing op keeps its dense id so launcher stats tables
+    // built against the old catalog stay index-compatible.
+    spec.op_id = it->second.op_id;
+    it->second = std::move(spec);
+    by_id_[it->second.op_id] = &it->second;
+  }
 }
 
 const CascadeSpec& OperationCatalog::get(const std::string& name) const {

@@ -29,8 +29,21 @@ class OperationCatalog {
   /// All operation names with the given application prefix ("CAD", ...).
   std::vector<std::string> operations_of(const std::string& app) const;
 
+  /// Dense-id view: every op gets a stable `CascadeSpec::op_id` in
+  /// [0, op_count()) at add() time; launchers size per-op statistics tables
+  /// from op_count() and index them by id instead of by name.
+  std::size_t op_count() const { return by_id_.size(); }
+  const CascadeSpec& by_id(std::uint32_t id) const { return *by_id_.at(id); }
+
+  /// Visits every spec in name order (the map's iteration order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [name, spec] : ops_) fn(spec);
+  }
+
  private:
   std::map<std::string, CascadeSpec> ops_;
+  std::vector<const CascadeSpec*> by_id_;  // values in ops_ are node-stable
 };
 
 /// File sizes (MB) of the three Ch. 5 validation series.

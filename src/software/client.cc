@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 namespace gdisim {
 
@@ -21,6 +22,72 @@ std::vector<std::pair<double, double>> BinnedResponse::series() const {
     out.emplace_back((b + 0.5) / 2.0, sum_[b] / static_cast<double>(count_[b]));
   }
   return out;
+}
+
+void OpStatsTable::archive_state(StateArchive& ar) {
+  // Byte layout identical to archiving std::map<std::string, T> directly
+  // (count, then name-sorted (key, payload) pairs): an op is present exactly
+  // when its stats count > 0, and — the recording invariant of both
+  // launchers — binned data is recorded iff stats are, so the same presence
+  // test drives both blocks.
+  if (ar.writing()) {
+    std::size_t n = 0;
+    catalog_->for_each([&](const CascadeSpec& s) {
+      if (stats_[s.op_id].count > 0) ++n;
+    });
+    ar.size_value(n);
+    catalog_->for_each([&](const CascadeSpec& s) {
+      if (stats_[s.op_id].count == 0) return;
+      std::string key = s.name;
+      ar.str(key);
+      stats_[s.op_id].archive_state(ar);
+    });
+  } else {
+    stats_.assign(catalog_->op_count(), OpStats{});
+    std::size_t n = 0;
+    ar.size_value(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string key;
+      ar.str(key);
+      stats_[catalog_->get(key).op_id].archive_state(ar);
+    }
+    dirty_ = true;
+  }
+  if (!with_binned_) return;
+  if (ar.writing()) {
+    std::size_t n = 0;
+    catalog_->for_each([&](const CascadeSpec& s) {
+      if (stats_[s.op_id].count > 0) ++n;
+    });
+    ar.size_value(n);
+    catalog_->for_each([&](const CascadeSpec& s) {
+      if (stats_[s.op_id].count == 0) return;
+      std::string key = s.name;
+      ar.str(key);
+      binned_[s.op_id].archive_state(ar);
+    });
+  } else {
+    binned_.assign(catalog_->op_count(), BinnedResponse{});
+    std::size_t n = 0;
+    ar.size_value(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string key;
+      ar.str(key);
+      binned_[catalog_->get(key).op_id].archive_state(ar);
+    }
+  }
+}
+
+void OpStatsTable::rebuild_views() const {
+  stats_view_.clear();
+  binned_view_.clear();
+  catalog_->for_each([&](const CascadeSpec& s) {
+    const OpStats& st = stats_[s.op_id];
+    if (st.count == 0) return;
+    stats_view_.emplace(s.name, st);
+    if (with_binned_) binned_view_.emplace(s.name, binned_[s.op_id]);
+  });
+  dirty_ = false;
 }
 
 ClientPopulation::ClientPopulation(ClientPopulationConfig config, const OperationCatalog& catalog,
@@ -46,6 +113,44 @@ ClientPopulation::ClientPopulation(ClientPopulationConfig config, const Operatio
   // Scanning every slot on every tick dominates large scenarios; a 0.25 s
   // launch granularity is negligible against multi-second think times.
   scan_every_ = std::max<Tick>(1, clock_.to_ticks(0.25));
+
+  name_hash_ = stable_hash(config_.name);
+  live_by_slot_.resize(slots_.size());
+  // Every slot can have at most one operation in flight, so the completion
+  // inbox never holds more than slot-capacity deliveries: reserve that once
+  // and the mailbox never regrows mid-run.
+  completions_.reserve_total(slots_.size());
+  op_stats_.init(catalog, /*with_binned=*/true);
+  mix_specs_.reserve(config_.mix.entries().size());
+  for (const auto& [op, weight] : config_.mix.entries()) {
+    mix_specs_.push_back(&catalog.get(op));
+  }
+  script_specs_.reserve(config_.session_script.size());
+  for (const auto& op : config_.session_script) script_specs_.push_back(&catalog.get(op));
+  done_ = [this](OperationInstance& inst, Tick end_tick) {
+    completions_.post(end_tick, id(), inst.params().instance_serial,
+                      CompletionMsg{&inst, inst.params().launcher_tag, end_tick});
+  };
+  rebuild_wake_index();
+}
+
+void ClientPopulation::rebuild_wake_index() {
+  think_heap_.clear();
+  parked_.clear();
+  parked_min_ = kNoParked;
+  parked_sorted_ = true;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].busy) {
+      think_heap_.emplace_back(slots_[i].ready_at, static_cast<std::uint32_t>(i));
+    }
+  }
+  std::make_heap(think_heap_.begin(), think_heap_.end(), std::greater<>());
+}
+
+void ClientPopulation::park(std::uint32_t idx) {
+  if (!parked_.empty() && idx < parked_.back()) parked_sorted_ = false;
+  parked_.push_back(idx);
+  if (idx < parked_min_) parked_min_ = idx;
 }
 
 void ClientPopulation::on_tick(Tick now) {
@@ -54,18 +159,46 @@ void ClientPopulation::on_tick(Tick now) {
   const double hour = clock_.to_seconds(now) / 3600.0;
   logged_in_ = static_cast<std::size_t>(std::lround(config_.curve.at_hour(hour)));
   logged_in_ = std::min(logged_in_, slots_.size());
-  for (std::size_t i = 0; i < logged_in_; ++i) {
-    Slot& slot = slots_[i];
-    if (!slot.busy && slot.ready_at <= now) launch(i, now);
+
+  // Collect this scan's launch set: think times that just expired, plus any
+  // parked (long-ready) slots the rising workload curve now covers. Slots
+  // above the waterline park with no further per-scan cost; busy or still-
+  // thinking slots are never visited — idle clients cost zero.
+  launch_scratch_.clear();
+  while (!think_heap_.empty() && think_heap_.front().first <= now) {
+    std::pop_heap(think_heap_.begin(), think_heap_.end(), std::greater<>());
+    const std::uint32_t idx = think_heap_.back().second;
+    think_heap_.pop_back();
+    if (idx < logged_in_) {
+      launch_scratch_.push_back(idx);
+    } else {
+      park(idx);
+    }
   }
+  if (parked_min_ < logged_in_) {
+    if (!parked_sorted_) {
+      std::sort(parked_.begin(), parked_.end());
+      parked_sorted_ = true;
+    }
+    const auto split = std::lower_bound(parked_.begin(), parked_.end(),
+                                        static_cast<std::uint32_t>(logged_in_));
+    launch_scratch_.insert(launch_scratch_.end(), parked_.begin(), split);
+    parked_.erase(parked_.begin(), split);
+    parked_min_ = parked_.empty() ? kNoParked : parked_.front();
+  }
+  if (launch_scratch_.empty()) return;
+  // Ascending slot order: the exact launch (and therefore RNG draw) order
+  // the former linear 0..logged_in_ scan produced.
+  std::sort(launch_scratch_.begin(), launch_scratch_.end());
+  for (std::uint32_t idx : launch_scratch_) launch(idx, now);
 }
 
 void ClientPopulation::launch(std::size_t slot_idx, Tick now) {
   Slot& slot = slots_[slot_idx];
-  const std::string& op_name =
+  const CascadeSpec* spec =
       config_.behavior == ClientBehavior::kSessionScript
-          ? config_.session_script[slot.script_pos++ % config_.session_script.size()]
-          : config_.mix.sample(rng_.next_double());
+          ? script_specs_[slot.script_pos++ % script_specs_.size()]
+          : mix_specs_[config_.mix.sample_index(rng_.next_double())];
   double size_mb = config_.file_size_mb;
   if (config_.file_size_jitter > 0.0) {
     size_mb *= 1.0 + config_.file_size_jitter * (2.0 * rng_.next_double() - 1.0);
@@ -79,37 +212,38 @@ void ClientPopulation::launch(std::size_t slot_idx, Tick now) {
   params.size_mb = size_mb;
   params.instance_serial = next_serial_++;
   params.launcher_id = id();
-  params.rng_seed = stable_hash(config_.name) ^ (params.instance_serial * 0x9e3779b97f4a7c15ULL);
+  params.rng_seed = name_hash_ ^ (params.instance_serial * 0x9e3779b97f4a7c15ULL);
+  params.launcher_tag = static_cast<std::uint32_t>(slot_idx);
 
-  auto instance = make_instance(op_name, params, slot_idx);
+  auto instance = acquire_instance(*spec, params);
   OperationInstance* raw = instance.get();
-  live_.emplace(params.instance_serial, LiveOp{std::move(instance), slot_idx});
-  slots_[slot_idx].busy = true;
+  live_by_slot_[slot_idx] = std::move(instance);
+  slot.busy = true;
   ++active_;
-  if (recorder_) recorder_(clock_.to_seconds(now), op_name, config_.dc, owner, size_mb);
+  if (recorder_) recorder_(clock_.to_seconds(now), spec->name, config_.dc, owner, size_mb);
   raw->start(now);
 }
 
-std::unique_ptr<OperationInstance> ClientPopulation::make_instance(const std::string& op_name,
-                                                                   LaunchParams params,
-                                                                   std::size_t slot_idx) {
-  return std::make_unique<OperationInstance>(
-      catalog_->get(op_name), *ctx_, params,
-      [this, slot_idx](OperationInstance& inst, Tick end_tick) {
-        completions_.post(end_tick, id(), inst.params().instance_serial,
-                          CompletionMsg{&inst, slot_idx, end_tick});
-      });
+std::unique_ptr<OperationInstance> ClientPopulation::acquire_instance(
+    const CascadeSpec& spec, const LaunchParams& params) {
+  if (!instance_pool_.empty()) {
+    auto instance = std::move(instance_pool_.back());
+    instance_pool_.pop_back();
+    instance->reset(spec, params);
+    return instance;
+  }
+  return std::make_unique<OperationInstance>(spec, *ctx_, params, done_);
 }
 
 void ClientPopulation::on_interactions(Tick now) {
-  for (auto& d : completions_.drain_visible(now)) {
+  completions_.drain_visible_into(now, drain_scratch_);
+  for (auto& d : drain_scratch_) {
     const CompletionMsg& msg = d.payload;
-    const double duration =
-        msg.instance->duration_seconds(clock_, msg.end_tick);
+    const double duration = msg.instance->duration_seconds(clock_, msg.end_tick);
     const double end_hour = clock_.to_seconds(msg.end_tick) / 3600.0;
-    const std::string& op = msg.instance->op_name();
-    stats_[op].record(duration);
-    binned_[op].record(end_hour, duration);
+    const std::uint32_t op_id = msg.instance->op_id();
+    op_stats_.record(op_id, duration);
+    op_stats_.record_binned(op_id, end_hour, duration);
     ++completed_;
 
     Slot& slot = slots_[msg.slot];
@@ -119,34 +253,11 @@ void ClientPopulation::on_interactions(Tick now) {
                              : rng_.next_exponential(config_.think_time_mean_s);
     slot.ready_at = msg.end_tick + clock_.to_ticks(think);
     --active_;
-    live_.erase(msg.instance->params().instance_serial);
+    think_heap_.emplace_back(slot.ready_at, static_cast<std::uint32_t>(msg.slot));
+    std::push_heap(think_heap_.begin(), think_heap_.end(), std::greater<>());
+    instance_pool_.push_back(std::move(live_by_slot_[msg.slot]));
   }
 }
-
-namespace {
-
-/// std::map keeps the byte stream in key order on both directions.
-template <typename T>
-void archive_stats_map(StateArchive& ar, std::map<std::string, T>& m) {
-  std::size_t n = m.size();
-  ar.size_value(n);
-  if (ar.writing()) {
-    for (auto& [name, value] : m) {
-      std::string key = name;
-      ar.str(key);
-      value.archive_state(ar);
-    }
-  } else {
-    m.clear();
-    for (std::size_t i = 0; i < n; ++i) {
-      std::string key;
-      ar.str(key);
-      m[key].archive_state(ar);
-    }
-  }
-}
-
-}  // namespace
 
 void ClientPopulation::archive_state(StateArchive& ar, HandlerRegistry& reg) {
   Agent::archive_state(ar, reg);
@@ -169,29 +280,40 @@ void ClientPopulation::archive_state(StateArchive& ar, HandlerRegistry& reg) {
   // Live operations travel sorted by serial. Every instance is (re)bound in
   // the handler registry under (launcher id, serial) before any component
   // archives the queue entries that point at it.
-  std::size_t nlive = live_.size();
+  std::size_t nlive = 0;
+  for (const auto& inst : live_by_slot_) {
+    if (inst) ++nlive;
+  }
   ar.size_value(nlive);
   if (ar.writing()) {
-    std::vector<std::uint64_t> serials;
-    serials.reserve(live_.size());
-    for (auto& [serial, op] : live_) serials.push_back(serial);
-    std::sort(serials.begin(), serials.end());
-    for (std::uint64_t serial : serials) {
-      LiveOp& op = live_.at(serial);
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> order;  // (serial, slot)
+    order.reserve(nlive);
+    for (std::size_t i = 0; i < live_by_slot_.size(); ++i) {
+      if (live_by_slot_[i]) {
+        order.emplace_back(live_by_slot_[i]->params().instance_serial,
+                           static_cast<std::uint32_t>(i));
+      }
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [serial, slot_idx] : order) {
+      OperationInstance* inst = live_by_slot_[slot_idx].get();
       std::uint64_t s = serial;
       ar.u64(s);
-      std::string op_name = op.instance->op_name();
+      std::string op_name = inst->op_name();
       ar.str(op_name);
-      std::uint32_t owner = op.instance->params().owner_dc;
+      std::uint32_t owner = inst->params().owner_dc;
       ar.u32(owner);
-      double size_mb = op.instance->params().size_mb;
+      double size_mb = inst->params().size_mb;
       ar.f64(size_mb);
-      ar.size_value(op.slot);
-      reg.bind(id(), serial, op.instance.get());
-      op.instance->archive_state(ar, reg);
+      std::size_t slot_sz = slot_idx;
+      ar.size_value(slot_sz);
+      reg.bind(id(), serial, inst);
+      inst->archive_state(ar, reg);
     }
   } else {
-    live_.clear();
+    live_by_slot_.clear();
+    live_by_slot_.resize(slots_.size());
+    instance_pool_.clear();
     for (std::size_t i = 0; i < nlive; ++i) {
       std::uint64_t serial = 0;
       ar.u64(serial);
@@ -209,26 +331,34 @@ void ClientPopulation::archive_state(StateArchive& ar, HandlerRegistry& reg) {
       params.size_mb = size_mb;
       params.instance_serial = serial;
       params.launcher_id = id();
-      params.rng_seed = stable_hash(config_.name) ^ (serial * 0x9e3779b97f4a7c15ULL);
-      auto instance = make_instance(op_name, params, slot_idx);
+      params.rng_seed = name_hash_ ^ (serial * 0x9e3779b97f4a7c15ULL);
+      params.launcher_tag = static_cast<std::uint32_t>(slot_idx);
+      auto instance = std::make_unique<OperationInstance>(catalog_->get(op_name), *ctx_,
+                                                          params, done_);
       reg.bind(id(), serial, instance.get());
       instance->archive_state(ar, reg);
-      live_.emplace(serial, LiveOp{std::move(instance), slot_idx});
+      live_by_slot_.at(slot_idx) = std::move(instance);
     }
   }
 
   // Pending completion messages re-link their instance pointer through the
   // freshly-rebuilt live table.
-  completions_.archive_state(ar, [this](StateArchive& a, CompletionMsg& msg) {
+  std::unordered_map<std::uint64_t, OperationInstance*> by_serial;
+  if (ar.reading()) {
+    for (const auto& inst : live_by_slot_) {
+      if (inst) by_serial.emplace(inst->params().instance_serial, inst.get());
+    }
+  }
+  completions_.archive_state(ar, [&by_serial](StateArchive& a, CompletionMsg& msg) {
     std::uint64_t serial = a.writing() ? msg.instance->params().instance_serial : 0;
     a.u64(serial);
     a.size_value(msg.slot);
     a.i64(msg.end_tick);
-    if (a.reading()) msg.instance = live_.at(serial).instance.get();
+    if (a.reading()) msg.instance = by_serial.at(serial);
   });
 
-  archive_stats_map(ar, stats_);
-  archive_stats_map(ar, binned_);
+  op_stats_.archive_state(ar);
+  if (ar.reading()) rebuild_wake_index();
 }
 
 SeriesLauncher::SeriesLauncher(SeriesLauncherConfig config, const OperationCatalog& catalog,
@@ -242,6 +372,8 @@ SeriesLauncher::SeriesLauncher(SeriesLauncherConfig config, const OperationCatal
   completions_.bind_owner(this);
   interval_ticks_ = std::max<Tick>(1, clock_.to_ticks(config_.interval_s));
   if (config_.stop_after_s >= 0.0) stop_tick_ = clock_.to_ticks(config_.stop_after_s);
+  name_hash_ = stable_hash(config_.name);
+  op_stats_.init(catalog, /*with_binned=*/false);
 }
 
 void SeriesLauncher::on_tick(Tick now) {
@@ -260,7 +392,7 @@ void SeriesLauncher::launch_op(OperationInstance* /*prev*/, Run run, Tick now) {
   params.size_mb = so.size_mb;
   params.instance_serial = next_serial_++;
   params.launcher_id = id();
-  params.rng_seed = stable_hash(config_.name) ^ (params.instance_serial * 0x9e3779b97f4a7c15ULL);
+  params.rng_seed = name_hash_ ^ (params.instance_serial * 0x9e3779b97f4a7c15ULL);
 
   auto instance = make_instance(so, params);
   OperationInstance* raw = instance.get();
@@ -315,7 +447,7 @@ void SeriesLauncher::archive_state(StateArchive& ar, HandlerRegistry& reg) {
       params.size_mb = so.size_mb;
       params.instance_serial = serial;
       params.launcher_id = id();
-      params.rng_seed = stable_hash(config_.name) ^ (serial * 0x9e3779b97f4a7c15ULL);
+      params.rng_seed = name_hash_ ^ (serial * 0x9e3779b97f4a7c15ULL);
       auto instance = make_instance(so, params);
       reg.bind(id(), serial, instance.get());
       instance->archive_state(ar, reg);
@@ -330,14 +462,15 @@ void SeriesLauncher::archive_state(StateArchive& ar, HandlerRegistry& reg) {
     if (a.reading()) msg.instance = live_.at(serial).instance.get();
   });
 
-  archive_stats_map(ar, stats_);
+  op_stats_.archive_state(ar);
 }
 
 void SeriesLauncher::on_interactions(Tick now) {
-  for (auto& d : completions_.drain_visible(now)) {
+  completions_.drain_visible_into(now, drain_scratch_);
+  for (auto& d : drain_scratch_) {
     const CompletionMsg& msg = d.payload;
     const double duration = msg.instance->duration_seconds(clock_, msg.end_tick);
-    stats_[msg.instance->op_name()].record(duration);
+    op_stats_.record(msg.instance->op_id(), duration);
 
     Run run = live_.at(msg.instance->params().instance_serial).run;
     live_.erase(msg.instance->params().instance_serial);

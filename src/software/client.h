@@ -9,6 +9,14 @@
 // Both launchers receive completion callbacks on component worker threads;
 // those callbacks only post to the launcher's own inbox, and all state is
 // mutated in the launcher's own phases, keeping execution deterministic.
+//
+// Hot-state layout (DESIGN.md "Memory layout"): per-operation statistics
+// live in dense vectors indexed by the catalog's interned op ids
+// (OpStatsTable); the name-keyed std::map views the figures and the
+// fingerprint consume are materialized lazily. Client slots are plain
+// structs-of-scalars, and the launch scan is driven by a ready_at min-heap
+// plus a parked-index list so clients that are thinking or above the
+// workload curve cost nothing per tick.
 #pragma once
 
 #include <algorithm>
@@ -66,6 +74,12 @@ class BinnedResponse {
   /// (bin center hour, mean seconds) for bins with samples.
   std::vector<std::pair<double, double>> series() const;
 
+  bool empty() const {
+    for (auto c : count_)
+      if (c != 0) return false;
+    return true;
+  }
+
   void archive_state(StateArchive& ar) {
     for (auto& s : sum_) ar.f64(s);
     for (auto& c : count_) ar.u64(c);
@@ -74,6 +88,60 @@ class BinnedResponse {
  private:
   std::array<double, kBins> sum_{};
   std::array<std::uint64_t, kBins> count_{};
+};
+
+/// Per-operation statistics in struct-of-arrays form: dense vectors indexed
+/// by the catalog's interned op id, so the per-completion hot path is two
+/// vector indexations instead of two string-keyed map lookups. The legacy
+/// name-keyed map views (consumed by figures, benches and the result
+/// fingerprint) are materialized lazily and cached until the next record.
+class OpStatsTable {
+ public:
+  /// `with_binned` additionally keeps half-hour binned response means.
+  void init(const OperationCatalog& catalog, bool with_binned) {
+    catalog_ = &catalog;
+    with_binned_ = with_binned;
+    stats_.assign(catalog.op_count(), OpStats{});
+    if (with_binned) binned_.assign(catalog.op_count(), BinnedResponse{});
+    dirty_ = true;
+  }
+
+  void record(std::uint32_t op_id, double seconds) {
+    stats_[op_id].record(seconds);
+    dirty_ = true;
+  }
+  void record_binned(std::uint32_t op_id, double hour_of_day, double seconds) {
+    binned_[op_id].record(hour_of_day, seconds);
+  }
+
+  /// Name-keyed views: entries exist exactly for ops with count > 0, in name
+  /// order — identical content and iteration order to the former live maps.
+  /// The returned reference stays stable (and its iterators valid) until the
+  /// next record()/archive_state().
+  const std::map<std::string, OpStats>& stats_view() const {
+    if (dirty_) rebuild_views();
+    return stats_view_;
+  }
+  const std::map<std::string, BinnedResponse>& binned_view() const {
+    if (dirty_) rebuild_views();
+    return binned_view_;
+  }
+
+  /// Byte stream identical to archiving the name-keyed maps directly:
+  /// count, then (name, payload) pairs in name order, stats then (when
+  /// enabled) binned.
+  void archive_state(StateArchive& ar);
+
+ private:
+  void rebuild_views() const;
+
+  const OperationCatalog* catalog_ = nullptr;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: construction-time wiring
+  bool with_binned_ = false;  // ARCHIVE-TRANSIENT: construction-time configuration
+  std::vector<OpStats> stats_;
+  std::vector<BinnedResponse> binned_;
+  mutable std::map<std::string, OpStats> stats_view_;  // ARCHIVE-TRANSIENT: derived cache
+  mutable std::map<std::string, BinnedResponse> binned_view_;  // ARCHIVE-TRANSIENT: derived cache
+  mutable bool dirty_ = true;  // ARCHIVE-TRANSIENT: derived-cache validity flag
 };
 
 /// Samples the owning data center of the file an operation touches; used in
@@ -130,6 +198,8 @@ class ClientPopulation final : public Agent {
     return std::max(next_scan_, next_now);
   }
 
+  void on_engine_serial(bool serial) override { completions_.set_serial(serial); }
+
   void set_owner_sampler(OwnerSampler sampler) { owner_sampler_ = std::move(sampler); }
   void set_launch_recorder(LaunchRecorder recorder) { recorder_ = std::move(recorder); }
 
@@ -138,8 +208,10 @@ class ClientPopulation final : public Agent {
   /// Clients with an operation currently in flight.
   std::size_t active() const { return active_; }
 
-  const std::map<std::string, OpStats>& stats() const { return stats_; }
-  const std::map<std::string, BinnedResponse>& binned() const { return binned_; }
+  const std::map<std::string, OpStats>& stats() const { return op_stats_.stats_view(); }
+  const std::map<std::string, BinnedResponse>& binned() const {
+    return op_stats_.binned_view();
+  }
   const ClientPopulationConfig& config() const { return config_; }
   std::uint64_t completed_operations() const { return completed_; }
   std::size_t slot_count() const { return slots_.size(); }
@@ -155,20 +227,20 @@ class ClientPopulation final : public Agent {
     bool busy = false;
     std::uint32_t script_pos = 0;
   };
-  struct LiveOp {
-    std::unique_ptr<OperationInstance> instance;
-    std::size_t slot = 0;  ///< slot the client runs in; needed for restore
-  };
   struct CompletionMsg {
     /// Resolved on restore via the instance serial, never serialized.
     OperationInstance* instance;  // NOLINT(gdisim-snapshot-ptr) travels as (launcher id, serial)
     std::size_t slot;
     Tick end_tick;
   };
+  /// Min-heap entry of the think-time wake index: (ready_at, slot index).
+  using ThinkEntry = std::pair<Tick, std::uint32_t>;
 
   void launch(std::size_t slot, Tick now);
-  std::unique_ptr<OperationInstance> make_instance(const std::string& op_name,
-                                                   LaunchParams params, std::size_t slot_idx);
+  std::unique_ptr<OperationInstance> acquire_instance(const CascadeSpec& spec,
+                                                      const LaunchParams& params);
+  void rebuild_wake_index();
+  void park(std::uint32_t idx);
 
   ClientPopulationConfig config_;
   // Construction-time wiring, identical in the restored process.
@@ -181,16 +253,35 @@ class ClientPopulation final : public Agent {
   std::vector<Slot> slots_;
   Tick scan_every_ = 1;  // ARCHIVE-TRANSIENT: derived from config at construction
   Tick next_scan_ = 0;
-  /// In-flight operations keyed by instance serial — a stable id, never an
-  /// address, so no container state depends on allocation order.
-  std::unordered_map<std::uint64_t, LiveOp> live_;
+  std::uint64_t name_hash_ = 0;  // ARCHIVE-TRANSIENT: stable_hash(config.name), cached
+  /// Mix entries / session script pre-resolved to catalog specs so a launch
+  /// never does a string-keyed lookup.
+  std::vector<const CascadeSpec*> mix_specs_;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: construction-time wiring
+  std::vector<const CascadeSpec*> script_specs_;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: construction-time wiring
+  OperationInstance::DoneFn done_;  // ARCHIVE-TRANSIENT: completion callback wiring, shared by all instances
+  /// In-flight operation per slot (at most one: a busy client is exactly a
+  /// client with an operation in flight). Snapshots key entries by the
+  /// instance serial — a stable id, never an address.
+  std::vector<std::unique_ptr<OperationInstance>> live_by_slot_;
+  /// Finished instances recycled into later launches; keeps each instance's
+  /// branch/stage vectors warm and removes the per-launch allocation.
+  std::vector<std::unique_ptr<OperationInstance>> instance_pool_;  // ARCHIVE-TRANSIENT: allocation recycling pool, logically empty
+  // Launch-scan wake index (rebuilt from slots_ on restore): every non-busy
+  // slot is exactly once in the think-heap (still thinking or not yet
+  // examined) or the parked list (ready but above the logged-in waterline).
+  std::vector<ThinkEntry> think_heap_;  // ARCHIVE-TRANSIENT: derived index over slots_
+  std::vector<std::uint32_t> parked_;  // ARCHIVE-TRANSIENT: derived index over slots_
+  std::uint32_t parked_min_ = kNoParked;  // ARCHIVE-TRANSIENT: derived index over slots_
+  bool parked_sorted_ = true;  // ARCHIVE-TRANSIENT: derived index over slots_
+  std::vector<std::uint32_t> launch_scratch_;  // ARCHIVE-TRANSIENT: per-scan scratch
+  std::vector<Delivery<CompletionMsg>> drain_scratch_;  // ARCHIVE-TRANSIENT: per-wake scratch
+  static constexpr std::uint32_t kNoParked = 0xffffffffu;
   Inbox<CompletionMsg> completions_;
   std::uint64_t next_serial_ = 0;
   std::size_t logged_in_ = 0;
   std::size_t active_ = 0;
   std::uint64_t completed_ = 0;
-  std::map<std::string, OpStats> stats_;
-  std::map<std::string, BinnedResponse> binned_;
+  OpStatsTable op_stats_;
 };
 
 /// One entry of a Ch. 5 series: operation name + file size it manipulates.
@@ -224,10 +315,12 @@ class SeriesLauncher final : public Agent {
     return std::max(next_launch_, next_now);
   }
 
+  void on_engine_serial(bool serial) override { completions_.set_serial(serial); }
+
   /// Series currently in flight (the "concurrent clients" of Figure 5-6).
   std::size_t concurrent() const { return live_.size(); }
   std::uint64_t series_completed() const { return series_completed_; }
-  const std::map<std::string, OpStats>& stats() const { return stats_; }
+  const std::map<std::string, OpStats>& stats() const { return op_stats_.stats_view(); }
 
   /// Snapshot round trip; live series are rebuilt from (serial, next_op).
   void archive_state(StateArchive& ar, HandlerRegistry& reg) override;
@@ -258,12 +351,14 @@ class SeriesLauncher final : public Agent {
   Tick next_launch_ = 0;
   Tick interval_ticks_ = 1;  // ARCHIVE-TRANSIENT: derived from config at construction
   Tick stop_tick_ = kNeverTick;  // ARCHIVE-TRANSIENT: derived from config at construction
+  std::uint64_t name_hash_ = 0;  // ARCHIVE-TRANSIENT: stable_hash(config.name), cached
   /// In-flight series keyed by instance serial (stable id, never an address).
   std::unordered_map<std::uint64_t, LiveOp> live_;
   Inbox<CompletionMsg> completions_;
+  std::vector<Delivery<CompletionMsg>> drain_scratch_;  // ARCHIVE-TRANSIENT: per-wake scratch
   std::uint64_t next_serial_ = 0;
   std::uint64_t series_completed_ = 0;
-  std::map<std::string, OpStats> stats_;
+  OpStatsTable op_stats_;
 };
 
 }  // namespace gdisim

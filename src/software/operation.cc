@@ -56,6 +56,21 @@ OperationInstance::OperationInstance(const CascadeSpec& spec, OperationContext& 
                                      LaunchParams params, DoneFn done)
     : spec_(&spec), ctx_(&ctx), params_(params), done_(std::move(done)) {
   if (spec_->steps.empty()) throw std::invalid_argument("OperationInstance: empty cascade");
+  name_hash_ = spec_->name_hash != 0 ? spec_->name_hash : stable_hash(spec_->name);
+}
+
+void OperationInstance::reset(const CascadeSpec& spec, const LaunchParams& params) {
+  if (spec.steps.empty()) throw std::invalid_argument("OperationInstance: empty cascade");
+  spec_ = &spec;
+  params_ = params;
+  name_hash_ = spec.name_hash != 0 ? spec.name_hash : stable_hash(spec.name);
+  step_idx_ = 0;
+  repeats_left_ = 0;
+  start_tick_ = 0;
+  branches_outstanding_.store(0, std::memory_order_relaxed);
+  // branches_ keeps its (possibly oversized) storage: start_step()
+  // re-initializes every field of the branches a step actually uses, and
+  // archive_state only walks the current step's branch count.
 }
 
 void OperationInstance::start(Tick now) {
@@ -84,9 +99,11 @@ void OperationInstance::start_step(Tick now) {
     br.local_seq = 0;
     br.held_memory = nullptr;
     br.held_bytes = 0.0;
+    // Bit-identical to Rng(seed).split(name).split(to_string(...)) — the
+    // hashes are cached/derived instead of re-hashing strings per step.
     br.rng = Rng(params_.rng_seed)
-                 .split(spec_->name)
-                 .split(std::to_string(step_idx_ * 1000 + b));
+                 .split_hashed(name_hash_)
+                 .split_hashed(stable_hash_decimal(step_idx_ * 1000 + b));
     start_message(b, now);
   }
 }

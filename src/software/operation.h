@@ -66,6 +66,9 @@ struct LaunchParams {
   std::uint64_t instance_serial = 0;  ///< per-launcher, deterministic
   AgentId launcher_id = kInvalidAgent;
   std::uint64_t rng_seed = 0;  ///< instance RNG stream seed
+  /// Opaque launcher bookkeeping (ClientPopulation stores the slot index) so
+  /// completion callbacks need not capture per-launch state.
+  std::uint32_t launcher_tag = 0;
 };
 
 class OperationInstance final : public StageCompletionHandler {
@@ -77,6 +80,11 @@ class OperationInstance final : public StageCompletionHandler {
   OperationInstance(const CascadeSpec& spec, OperationContext& ctx, LaunchParams params,
                     DoneFn done);
 
+  /// Re-arms a finished (pooled) instance for a fresh launch, preserving the
+  /// done callback, the context wiring and — the point of pooling — the
+  /// branch/stage vector capacities warmed by earlier cascades.
+  void reset(const CascadeSpec& spec, const LaunchParams& params);
+
   /// Launches the first step. Called from the launcher's tick phase at tick
   /// `now`; all submissions become visible at now + 1.
   void start(Tick now);
@@ -84,6 +92,8 @@ class OperationInstance final : public StageCompletionHandler {
   void on_stage_complete(Component& at, Tick now, std::uint64_t tag) override;
 
   const std::string& op_name() const { return spec_->name; }
+  /// Interned catalog id of the cascade (see OperationCatalog::op_count).
+  std::uint32_t op_id() const { return spec_->op_id; }
   Tick start_tick() const { return start_tick_; }
   const LaunchParams& params() const { return params_; }
 
@@ -136,6 +146,7 @@ class OperationInstance final : public StageCompletionHandler {
   OperationContext* ctx_;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: construction-time wiring
   LaunchParams params_;  // ARCHIVE-TRANSIENT: rebuilt by the relaunching owner before archive_state runs
   DoneFn done_;  // ARCHIVE-TRANSIENT: completion callback wired by the owner
+  std::uint64_t name_hash_ = 0;  // ARCHIVE-TRANSIENT: cached stable_hash(spec name)
   std::size_t step_idx_ = 0;
   unsigned repeats_left_ = 0;
   std::vector<BranchState> branches_;

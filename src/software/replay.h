@@ -86,6 +86,8 @@ class TraceLauncher final : public Agent {
     return std::max(next_now, clock_.to_ticks(entries[cursor_].t_seconds));
   }
 
+  void on_engine_serial(bool serial) override { completions_.set_serial(serial); }
+
   std::size_t launched() const { return cursor_; }
   std::size_t in_flight() const { return live_.size(); }
   std::uint64_t completed() const { return completed_; }

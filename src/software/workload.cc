@@ -77,11 +77,15 @@ OperationMix OperationMix::uniform(const std::vector<std::string>& ops) {
 }
 
 const std::string& OperationMix::sample(double uniform01) const {
+  return entries_[sample_index(uniform01)].first;
+}
+
+std::size_t OperationMix::sample_index(double uniform01) const {
   if (entries_.empty()) throw std::logic_error("OperationMix: empty");
   for (std::size_t i = 0; i < cdf_.size(); ++i) {
-    if (uniform01 < cdf_[i]) return entries_[i].first;
+    if (uniform01 < cdf_[i]) return i;
   }
-  return entries_.back().first;
+  return entries_.size() - 1;
 }
 
 }  // namespace gdisim

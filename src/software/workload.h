@@ -51,6 +51,10 @@ class OperationMix {
   /// Deterministic inverse-CDF sampling from a uniform in [0, 1).
   const std::string& sample(double uniform01) const;
 
+  /// Index form of sample(): same inverse-CDF walk, for callers that keyed
+  /// the entries to pre-resolved cascade specs.
+  std::size_t sample_index(double uniform01) const;
+
   const std::vector<std::pair<std::string, double>>& entries() const { return entries_; }
   bool empty() const { return entries_.empty(); }
 

@@ -85,6 +85,32 @@ TEST(Loader, LoadedScenarioActuallyRuns) {
   EXPECT_GT(sim.collector().find("cpu/HQ/app")->max_value(), 0.0);
 }
 
+TEST(Loader, ScaleOverrideScalesLoadNotHardware) {
+  std::istringstream is(sample_without_bad_backup());
+  Scenario s = load_scenario(is, "<stream>", 2.0);
+  EXPECT_DOUBLE_EQ(s.scale, 2.0);
+  // Population peaks and growth rates double; declared hardware (tier
+  // shapes, SAN, links) stays exactly as written in the file.
+  EXPECT_DOUBLE_EQ(s.populations[0]->config().curve.peak(), 40.0);
+  EXPECT_DOUBLE_EQ(s.populations[1]->config().curve.at_hour(3.0), 30.0);
+  EXPECT_NEAR(s.growth.rate_mb_per_hour(s.topology->find_dc("BRANCH"), 12.0), 1000.0, 1e-9);
+  EXPECT_EQ(s.dc("HQ").tier(TierKind::App)->server_count(), 2u);
+}
+
+TEST(Loader, ScaleOverrideClampsToOneClient) {
+  std::istringstream is(sample_without_bad_backup());
+  Scenario s = load_scenario(is, "<stream>", 0.001);
+  ASSERT_EQ(s.populations.size(), 2u);  // no population silently dropped
+  for (const auto& p : s.populations) EXPECT_GE(p->slot_count(), 1u) << p->name();
+}
+
+TEST(Loader, ScaleOverrideMustBePositive) {
+  std::istringstream is(sample_without_bad_backup());
+  EXPECT_THROW(load_scenario(is, "<stream>", 0.0), std::invalid_argument);
+  std::istringstream is2(sample_without_bad_backup());
+  EXPECT_THROW(load_scenario(is2, "<stream>", -1.0), std::invalid_argument);
+}
+
 TEST(Loader, CommentsAndBlankLinesIgnored) {
   std::istringstream is("# only comments\n\ndatacenter A\n tier fs 1 2 8\n san 1 4 15000\nend\n");
   Scenario s = load_scenario(is);

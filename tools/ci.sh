@@ -21,6 +21,9 @@
 #   sanitize-snapshot  the snapshot/archive test suite (round trips,
 #            corruption rollback, restore equivalence) under ASan+UBSan and
 #            standalone UBSan builds
+#   perf-smoke  bench_scale_frontier in fast mode with a tiny tick budget;
+#            fails when the bench exits nonzero or its JSON is missing,
+#            malformed, or lacks the frontier fields
 #   release/audit/asan/ubsan/tsan   CMake presets: configure + build + ctest
 #
 # Sanitizer suites run the full tier-1 ctest set; on small hosts expect the
@@ -31,7 +34,7 @@ cd "$(dirname "$0")/.."
 
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(lint archive-coverage release audit smoke snapshot sanitize-snapshot asan tsan)
+  LEGS=(lint archive-coverage release audit smoke perf-smoke snapshot sanitize-snapshot asan tsan)
 fi
 
 JOBS="${JOBS:-$(nproc)}"
@@ -161,6 +164,41 @@ run_snapshot() {
   echo "snapshot: restore and periodic-checkpoint runs match the uninterrupted fingerprint"
 }
 
+run_perf_smoke() {
+  echo "=== [perf-smoke] scale-frontier bench (fast mode) ==="
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "$JOBS" --target bench_scale_frontier >/dev/null
+  local workdir
+  workdir=$(mktemp -d)
+  trap 'rm -rf "${workdir:-}"; trap - RETURN' RETURN
+  GDISIM_BENCH_FAST=1 GDISIM_BENCH_JSON_DIR="$workdir" \
+      build/bench/bench_scale_frontier || {
+    echo "perf-smoke: bench_scale_frontier failed" >&2
+    return 1
+  }
+  local json="$workdir/BENCH_scale_frontier.json"
+  if [ ! -f "$json" ]; then
+    echo "perf-smoke: $json was not written" >&2
+    return 1
+  fi
+  # Malformed JSON or missing frontier fields both fail the leg: the bench
+  # JSON is the perf trajectory's raw material, so an emitter regression is
+  # a CI failure, not a silently empty chart.
+  python3 - "$json" <<'EOF' || return 1
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+required = ["max_sustainable_scale", "max_sustainable_clients", "peak_rss_mb", "alloc_delta"]
+missing = [k for k in required if k not in data]
+per_scale = [k for k in data if k.startswith("s") and k.endswith("_ticks_per_second")]
+if missing:
+    sys.exit(f"perf-smoke: {sys.argv[1]} missing fields: {missing}")
+if not per_scale:
+    sys.exit(f"perf-smoke: {sys.argv[1]} has no per-scale ticks_per_second fields")
+print(f"perf-smoke: JSON ok ({len(per_scale)} scale points)")
+EOF
+}
+
 run_sanitize_snapshot() {
   echo "=== [sanitize-snapshot] snapshot suite under ASan+UBSan and UBSan ==="
   local preset
@@ -181,6 +219,7 @@ for leg in "${LEGS[@]}"; do
     tidy) run_tidy ;;
     smoke) run_smoke ;;
     snapshot) run_snapshot ;;
+    perf-smoke) run_perf_smoke ;;
     sanitize-snapshot) run_sanitize_snapshot ;;
     *) run_preset "$leg" ;;
   esac

@@ -40,6 +40,7 @@ struct CliOptions {
   int experiment = 1;
   double hours = -1.0;
   double scale = 0.10;
+  bool scale_set = false;
   std::size_t threads = 0;
   bool threads_set = false;
   std::uint64_t seed = 42;
@@ -80,6 +81,11 @@ CliOptions parse(int argc, char** argv) {
       opt.hours = std::atof(next());
     } else if (arg == "--scale") {
       opt.scale = std::atof(next());
+      opt.scale_set = true;
+      if (!(opt.scale > 0.0)) {
+        std::cerr << argv[0] << ": --scale must be > 0\n";
+        std::exit(2);
+      }
     } else if (arg == "--threads") {
       opt.threads = static_cast<std::size_t>(std::atoi(next()));
       opt.threads_set = true;
@@ -114,11 +120,15 @@ CliOptions parse(int argc, char** argv) {
     opt.threads = hw > 1 ? hw - 1 : 0;
   }
   if (opt.hours < 0) opt.hours = opt.scenario == "validation" ? 38.0 / 60.0 : 24.0;
+  if (!opt.config_path.empty() && !opt.scale_set) opt.scale = 1.0;
   return opt;
 }
 
 Scenario make_scenario(const CliOptions& opt) {
-  if (!opt.config_path.empty()) return load_scenario_file(opt.config_path);
+  // A config file describes the operator's real inventory, so it runs
+  // unscaled unless --scale is given explicitly (parse() normalizes the
+  // default to 1.0); the canned scenarios keep their 0.1 default.
+  if (!opt.config_path.empty()) return load_scenario_file(opt.config_path, opt.scale);
   if (opt.scenario == "validation") {
     ValidationOptions v;
     v.experiment = opt.experiment;
