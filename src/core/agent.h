@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -185,6 +186,7 @@ class Inbox {
  public:
   /// Binds the owning agent so posts can request a wake when the owner is
   /// parked by the active-set scheduler.
+  // GDISIM-SERIAL-OK: construction-time wiring, runs before the engine starts
   void bind_owner(Agent* owner) { owner_ = owner; }
 
   /// Pre-sizes the staging shards for an expected in-flight delivery count
@@ -206,10 +208,16 @@ class Inbox {
   /// measurable at tens of millions of posts per run. Content and drain
   /// order are unchanged: serial posts all land in shard 0 and drains merge
   /// and sort shards the same way in both modes.
-  void set_serial(bool serial) { serial_ = serial; }
+  void set_serial(bool serial) {
+    serial_ = serial;
+#if GDISIM_SERIAL_GUARD_ENABLED
+    serial_owner_ = serial ? std::this_thread::get_id() : std::thread::id{};
+#endif
+  }
 
   void post(Tick visible_at, AgentId sender, std::uint64_t seq, T payload) {
     if (serial_) {
+      check_serial_owner();
       approx_size_.store(approx_size_.load(std::memory_order_relaxed) + 1,
                          std::memory_order_relaxed);
       Shard& s = shards_[0];
@@ -235,6 +243,7 @@ class Inbox {
   /// depend on thread scheduling. Callers that drain every tick should pass
   /// a reusable scratch vector so its capacity amortizes across drains.
   void drain_visible_into(Tick now, std::vector<Delivery<T>>& ready) {
+    if (serial_) check_serial_owner();
     ready.clear();
     // Fast path: agents poll their inbox every active tick; most polls find
     // it empty, and touching 8 locks 200M times would dominate the profile.
@@ -376,6 +385,24 @@ class Inbox {
   }
 
  private:
+  /// Serial mode strips the shard locks, which is only sound while a single
+  /// thread both posts and drains. Audit builds report a violation through
+  /// the failure handler; plain debug builds assert; release builds compile
+  /// the check away.
+  void check_serial_owner() const {
+#if GDISIM_SERIAL_GUARD_ENABLED
+    const bool ok = std::this_thread::get_id() == serial_owner_;
+#if GDISIM_AUDIT_ENABLED
+    GDISIM_AUDIT_CHECK(ok,
+                       "inbox serial fast path used from a thread other than "
+                       "the one that enabled it");
+#else
+    assert(ok && "inbox serial fast path used off the owning thread");
+#endif
+    (void)ok;
+#endif
+  }
+
   static constexpr std::size_t kShards = 8;
   struct alignas(64) Shard {
     SpinLock lock;
@@ -389,6 +416,10 @@ class Inbox {
   Agent* owner_ = nullptr;  // NOLINT(gdisim-snapshot-ptr) ARCHIVE-TRANSIENT: bound at construction
   std::atomic<std::int64_t> approx_size_{0};
   bool serial_ = false;  // ARCHIVE-TRANSIENT: engine wiring, rebound by the loop each run
+#if GDISIM_SERIAL_GUARD_ENABLED
+  /// Thread that enabled serial mode; only it may use the unlocked paths.
+  std::thread::id serial_owner_{};  // ARCHIVE-TRANSIENT: guard diagnostic, rebound with serial_
+#endif
 };
 
 }  // namespace gdisim

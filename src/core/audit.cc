@@ -41,7 +41,7 @@ struct State {
 };
 
 State& state() {
-  static State s;
+  static State s;  // GDISIM-SHARED: process-wide audit counters, all members atomic
   return s;
 }
 

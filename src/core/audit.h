@@ -64,6 +64,16 @@ using FailureHandler = void (*)(const char* message);
 #define GDISIM_AUDIT_ENABLED 0
 #endif
 
+// The engine-serial fast-path guard (Inbox: serial mode must only ever be
+// exercised from the thread that enabled it) is active whenever the auditor
+// is — trips route through the replaceable failure handler — and in plain
+// debug builds, where it downgrades to assert.
+#if GDISIM_AUDIT_ENABLED || !defined(NDEBUG)
+#define GDISIM_SERIAL_GUARD_ENABLED 1
+#else
+#define GDISIM_SERIAL_GUARD_ENABLED 0
+#endif
+
 #if GDISIM_AUDIT_ENABLED
 
 inline constexpr bool kEnabled = true;

@@ -251,6 +251,7 @@ class Component : public Agent {
   /// Tick-parity double buffer: work accounted at tick t lands in bucket
   /// (t+1)&1 and is folded by on_tick(t+1), which reads bucket (t+1)&1. The
   /// phase barrier separates all writers of a bucket from its reader.
+  // GDISIM-SHARED: cross-agent work accounting; tick-parity buffering splits writers/reader
   std::atomic<double> instant_buckets_[2] = {0.0, 0.0};
   double instant_fraction_ = 0.0;
   double window_accum_ = 0.0;

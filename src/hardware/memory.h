@@ -80,6 +80,7 @@ class MemoryComponent {
   static std::int64_t to_milli(double bytes) { return static_cast<std::int64_t>(bytes * 1000.0); }
 
   MemorySpec spec_;  // ARCHIVE-TRANSIENT: hardware spec; construction-time configuration
+  // GDISIM-SHARED: occupancy counter bumped by concurrent operation steps
   std::atomic<std::int64_t> occupied_milli_{0};
 };
 

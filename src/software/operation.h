@@ -150,6 +150,7 @@ class OperationInstance final : public StageCompletionHandler {
   std::size_t step_idx_ = 0;
   unsigned repeats_left_ = 0;
   std::vector<BranchState> branches_;
+  // GDISIM-SHARED: join counter decremented by branches completing on any worker
   std::atomic<unsigned> branches_outstanding_{0};
   Tick start_tick_ = 0;
 };

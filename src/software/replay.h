@@ -62,7 +62,7 @@ class WorkloadTrace {
   LaunchRecorder recorder();
 
  private:
-  mutable std::mutex mu_;
+  mutable std::mutex mu_;  // GDISIM-SHARED: serializes trace appends from concurrent launch sites
   std::vector<TraceEntry> entries_;
   std::uint64_t next_serial_ = 0;
 };

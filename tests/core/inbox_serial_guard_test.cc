@@ -1,0 +1,122 @@
+// Trip tests for the Inbox serial-mode runtime guard (core/agent.h).
+//
+// The engine-serial fast path strips the shard locks, which is only sound
+// while one thread both posts and drains. The guard records which thread
+// enabled serial mode and reports any serial-path use from another thread
+// through the audit failure handler. These tests verify the guard trips on
+// a cross-thread serial post/drain and stays silent for same-thread serial
+// use and for parallel-mode posts from any thread. In non-audit builds the
+// guard downgrades to assert, so the suite GTEST_SKIPs (the audit preset is
+// where it runs for real).
+#include "core/agent.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/audit.h"
+
+namespace gdisim {
+namespace {
+
+#if GDISIM_AUDIT_ENABLED
+
+/// Captures failure messages instead of aborting. The handler is a plain
+/// function pointer, so the capture buffer is file-static.
+std::string* g_last_failure = nullptr;
+
+void capture_failure(const char* message) {
+  if (g_last_failure) *g_last_failure = message;
+}
+
+class InboxSerialGuardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    audit::reset();
+    g_last_failure = &last_;
+    previous_ = audit::set_failure_handler(&capture_failure);
+  }
+  void TearDown() override {
+    audit::set_failure_handler(previous_);
+    g_last_failure = nullptr;
+    audit::reset();
+  }
+
+  std::string last_;
+  audit::FailureHandler previous_ = nullptr;
+};
+
+TEST_F(InboxSerialGuardTest, SameThreadSerialUseIsSilent) {
+  Inbox<int> inbox;
+  inbox.set_serial(true);
+  inbox.post(1, 0, 0, 7);
+  std::vector<Delivery<int>> ready;
+  inbox.drain_visible_into(1, ready);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_TRUE(last_.empty()) << last_;
+  EXPECT_EQ(audit::snapshot().failures, 0u);
+}
+
+TEST_F(InboxSerialGuardTest, CrossThreadSerialPostTrips) {
+  Inbox<int> inbox;
+  inbox.set_serial(true);  // this thread owns the serial fast path
+  std::thread poster([&] { inbox.post(1, 0, 0, 7); });
+  poster.join();
+  EXPECT_NE(last_.find("serial fast path"), std::string::npos) << last_;
+  EXPECT_GE(audit::snapshot().failures, 1u);
+}
+
+TEST_F(InboxSerialGuardTest, CrossThreadSerialDrainTrips) {
+  Inbox<int> inbox;
+  inbox.set_serial(true);
+  inbox.post(1, 0, 0, 7);
+  std::thread drainer([&] {
+    std::vector<Delivery<int>> ready;
+    inbox.drain_visible_into(1, ready);
+  });
+  drainer.join();
+  EXPECT_NE(last_.find("serial fast path"), std::string::npos) << last_;
+  EXPECT_GE(audit::snapshot().failures, 1u);
+}
+
+TEST_F(InboxSerialGuardTest, ParallelModePostsFromAnyThreadAreSilent) {
+  Inbox<int> inbox;  // serial mode never enabled: locked paths, no owner
+  std::vector<std::thread> posters;
+  for (int t = 0; t < 4; ++t) {
+    posters.emplace_back([&inbox, t] {
+      for (int i = 0; i < 100; ++i) {
+        inbox.post(1, static_cast<AgentId>(t), static_cast<std::uint64_t>(i), i);
+      }
+    });
+  }
+  for (std::thread& th : posters) th.join();
+  std::vector<Delivery<int>> ready;
+  inbox.drain_visible_into(1, ready);
+  EXPECT_EQ(ready.size(), 400u);
+  EXPECT_TRUE(last_.empty()) << last_;
+  EXPECT_EQ(audit::snapshot().failures, 0u);
+}
+
+TEST_F(InboxSerialGuardTest, DisablingSerialRestoresLockedPaths) {
+  Inbox<int> inbox;
+  inbox.set_serial(true);
+  inbox.set_serial(false);
+  std::thread poster([&] { inbox.post(1, 0, 0, 7); });
+  poster.join();
+  EXPECT_TRUE(last_.empty()) << last_;
+  EXPECT_EQ(audit::snapshot().failures, 0u);
+}
+
+#else  // !GDISIM_AUDIT_ENABLED
+
+TEST(InboxSerialGuardTest, SkippedWithoutAudit) {
+  GTEST_SKIP() << "serial guard trips route through the audit handler; "
+                  "build with -DGDISIM_AUDIT=ON (audit preset) to run";
+}
+
+#endif  // GDISIM_AUDIT_ENABLED
+
+}  // namespace
+}  // namespace gdisim

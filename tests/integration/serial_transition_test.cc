@@ -1,0 +1,99 @@
+// Serial↔parallel transition equivalence: a run that crosses thread-count
+// boundaries through checkpoints — threads=N, checkpoint, restore under
+// threads=1 (inline serial engine, where Inbox drops its locks on the
+// engine-serial hint), checkpoint again, restore back under threads=N —
+// must reproduce the uninterrupted run's result fingerprint bit-for-bit.
+// This is the end-to-end proof that the engine-serial fast path (PR 6) and
+// the concurrency-isolation model it leans on survive arbitrary
+// serial/parallel interleavings, not just same-configuration restores.
+// The ci.sh tsan leg runs this suite under -fsanitize=thread.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config/loader.h"
+#include "sim/fingerprint.h"
+#include "sim/gdisim.h"
+
+namespace gdisim {
+namespace {
+
+std::string two_site_text() {
+  std::ifstream in(GDISIM_SOURCE_DIR "/configs/two_site.gdisim");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::unique_ptr<GdiSimulator> make_sim(const std::string& text, std::size_t threads,
+                                       SchedulerMode mode) {
+  std::istringstream is(text);
+  Scenario s = load_scenario(is, "<test>");
+  SimulatorConfig cfg;
+  cfg.threads = threads;
+  cfg.scheduler = mode;
+  return std::make_unique<GdiSimulator>(std::move(s), cfg);
+}
+
+/// Runs the staged chain: threads=N to t1, snapshot, restore threads=S to
+/// t2, snapshot, restore threads=N to t3. Returns the final fingerprint.
+std::uint64_t staged_fp(const std::string& text, SchedulerMode mode, std::size_t n,
+                        std::size_t s, double t1, double t2, double t3) {
+  auto first = make_sim(text, n, mode);
+  first->run_until_seconds(t1);
+  const std::vector<std::uint8_t> snap1 = first->save_state();
+
+  auto serial = make_sim(text, s, mode);
+  serial->load_state(snap1);
+  EXPECT_DOUBLE_EQ(serial->now_seconds(), first->now_seconds());
+  serial->run_until_seconds(t2);
+  const std::vector<std::uint8_t> snap2 = serial->save_state();
+
+  auto last = make_sim(text, n, mode);
+  last->load_state(snap2);
+  EXPECT_DOUBLE_EQ(last->now_seconds(), serial->now_seconds());
+  last->run_until_seconds(t3);
+  return result_fingerprint(*last);
+}
+
+class SerialTransitionTest : public ::testing::TestWithParam<SchedulerMode> {};
+
+TEST_P(SerialTransitionTest, ParallelSerialParallelMatchesUninterrupted) {
+  const std::string text = two_site_text();
+  const SchedulerMode mode = GetParam();
+
+  auto reference = make_sim(text, 3, mode);
+  reference->run_until_seconds(180.0);
+  const std::uint64_t want = result_fingerprint(*reference);
+
+  EXPECT_EQ(staged_fp(text, mode, 3, 1, 60.0, 120.0, 180.0), want);
+}
+
+TEST_P(SerialTransitionTest, InlineSerialLegMatchesToo) {
+  // threads=0 runs phases inline (no worker pool at all) — the strongest
+  // serial configuration; the chain must still land on the same bytes.
+  const std::string text = two_site_text();
+  const SchedulerMode mode = GetParam();
+
+  auto reference = make_sim(text, 3, mode);
+  reference->run_until_seconds(180.0);
+  const std::uint64_t want = result_fingerprint(*reference);
+
+  EXPECT_EQ(staged_fp(text, mode, 3, 0, 60.0, 120.0, 180.0), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, SerialTransitionTest,
+                         ::testing::Values(SchedulerMode::kActiveSet,
+                                           SchedulerMode::kDenseSweep),
+                         [](const ::testing::TestParamInfo<SchedulerMode>& pi) {
+                           return pi.param == SchedulerMode::kActiveSet ? "ActiveSet"
+                                                                        : "DenseSweep";
+                         });
+
+}  // namespace
+}  // namespace gdisim

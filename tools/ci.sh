@@ -11,6 +11,10 @@
 #   archive-coverage  tools/lint/gdisim_archive_coverage.py over src/: every
 #            field of every snapshotable type is archived or declared
 #            // ARCHIVE-TRANSIENT, and save/load bodies stay symmetric
+#   isolation tools/lint/gdisim_isolation.py over src/: the agent-isolation
+#            model holds — no cross-agent writes from tick paths, no
+#            unguarded shared state, serial-only fast paths stay gated, and
+#            sync primitives outside src/core/ carry // GDISIM-SHARED reasons
 #   tidy     clang-tidy with the repo .clang-tidy profile (skipped with a
 #            notice when clang-tidy is not installed)
 #   smoke    determinism smoke: diff release fingerprints of the consolidated
@@ -34,7 +38,7 @@ cd "$(dirname "$0")/.."
 
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(lint archive-coverage release audit smoke perf-smoke snapshot sanitize-snapshot asan tsan)
+  LEGS=(lint archive-coverage isolation release audit smoke perf-smoke snapshot sanitize-snapshot asan tsan)
 fi
 
 JOBS="${JOBS:-$(nproc)}"
@@ -71,6 +75,18 @@ run_archive_coverage() {
       --json build/archive-coverage-report.json || {
     echo "archive-coverage: unarchived fields (see above); archive them or" \
          "annotate // ARCHIVE-TRANSIENT: <why>" >&2
+    return 1
+  }
+}
+
+run_isolation() {
+  echo "=== [isolation] concurrency-discipline analyzer ==="
+  mkdir -p build
+  python3 tools/lint/gdisim_isolation.py src \
+      --json build/isolation-report.json || {
+    echo "isolation: concurrency-model violations (see above); route" \
+         "cross-agent effects through Inbox::post or annotate sanctioned" \
+         "shared state with // GDISIM-SHARED: <why>" >&2
     return 1
   }
 }
@@ -199,6 +215,17 @@ print(f"perf-smoke: JSON ok ({len(per_scale)} scale points)")
 EOF
 }
 
+run_tsan() {
+  run_preset tsan
+  # Pin the serial<->parallel transition chain under -fsanitize=thread even
+  # when CTEST_ARGS filtered it out of the main pass: crossing thread-count
+  # boundaries through checkpoints is exactly where the engine-serial fast
+  # path would race if the isolation model were wrong.
+  echo "--- [tsan] serial<->parallel transition chain ---"
+  # shellcheck disable=SC2086
+  ctest --preset tsan -j "$JOBS" -R 'SerialTransition' --output-on-failure
+}
+
 run_sanitize_snapshot() {
   echo "=== [sanitize-snapshot] snapshot suite under ASan+UBSan and UBSan ==="
   local preset
@@ -216,11 +243,13 @@ for leg in "${LEGS[@]}"; do
   case "$leg" in
     lint) run_lint ;;
     archive-coverage) run_archive_coverage ;;
+    isolation) run_isolation ;;
     tidy) run_tidy ;;
     smoke) run_smoke ;;
     snapshot) run_snapshot ;;
     perf-smoke) run_perf_smoke ;;
     sanitize-snapshot) run_sanitize_snapshot ;;
+    tsan) run_tsan ;;
     *) run_preset "$leg" ;;
   esac
 done

@@ -1,0 +1,43 @@
+// Fixture: the sanctioned concurrency patterns — zero findings expected.
+// Cross-agent effects travel through Inbox::post; own-state writes, const
+// statics and annotated shared state are all fine.
+#include <cstdint>
+
+namespace fixture {
+
+template <typename T>
+class Inbox {
+ public:
+  void post(const T& msg) { pending_ = msg; }
+
+ private:
+  T pending_{};
+};
+
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  virtual void on_tick(long now) = 0;
+  Inbox<long>& inbox() { return inbox_; }
+
+ private:
+  Inbox<long> inbox_;
+};
+
+class Sender : public Agent {
+ public:
+  void on_tick(long now) override {
+    local_ += 1;  // own state: always allowed
+    if (peer_ != nullptr) {
+      peer_->inbox().post(now);  // cross-agent effect via the inbox
+    }
+  }
+
+ private:
+  long local_ = 0;
+  Agent* peer_ = nullptr;
+};
+
+static const long kWindow = 16;
+
+}  // namespace fixture

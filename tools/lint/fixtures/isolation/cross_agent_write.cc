@@ -1,0 +1,41 @@
+// Fixture: tick-phase code writing through pointers/references to another
+// agent's state. Every write below must be flagged gdisim-cross-agent-write;
+// the sanctioned path (Inbox::post) is exercised in clean.cc.
+#include <cstdint>
+
+namespace fixture {
+
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  virtual void on_tick(long now) = 0;
+  virtual void on_interactions(long now) {}
+};
+
+class Peer : public Agent {
+ public:
+  void on_tick(long now) override { last_ = now; }
+  long hp_ = 0;
+  long heat_ = 0;
+  long last_ = 0;
+};
+
+class Attacker : public Agent {
+ public:
+  void on_tick(long now) override {
+    target_->hp_ -= 5;  // direct cross-agent write from a tick entry
+    splash(now);
+  }
+  void on_interactions(long now) override {
+    Peer& p = *target_;
+    p.heat_ += 1;  // write through a reference to another agent
+  }
+
+ private:
+  // Reached from on_tick through the lexical call closure.
+  void splash(long now) { target_->heat_ = now; }
+
+  Peer* target_ = nullptr;
+};
+
+}  // namespace fixture

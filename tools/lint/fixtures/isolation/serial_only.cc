@@ -1,0 +1,39 @@
+// Fixture: a class with an engine-serial fast path. fast_ loses its lock
+// protection inside the `if (serial_)` branch, so any method touching it
+// must check the gate, hold the lock, or carry a GDISIM-SERIAL-OK reason.
+#include <vector>
+
+namespace fixture {
+
+class Gate {
+ public:
+  void lock() {}
+  void unlock() {}
+};
+
+class Channel {
+ public:
+  void set_serial(bool on) { serial_ = on; }
+
+  void post(int v) {
+    if (serial_) {
+      fast_.push_back(v);  // synchronization dropped behind the gate
+      return;
+    }
+    gate_.lock();
+    fast_.push_back(v);
+    gate_.unlock();
+  }
+
+  int unsafe_peek() const { return fast_.back(); }  // no gate, no lock: flagged
+
+  // GDISIM-SERIAL-OK: only called while the engine is paused between runs
+  int audited_size() const { return static_cast<int>(fast_.size()); }
+
+ private:
+  bool serial_ = false;
+  Gate gate_;
+  std::vector<int> fast_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: NOLINT suppression of isolation rules. Markers with reasons
+// suppress their finding; the reasonless marker on bare_ is itself flagged
+// by gdisim-nolint-reason (which cannot be suppressed).
+#include <atomic>
+
+namespace fixture {
+
+int g_tuning = 0;  // NOLINT(gdisim-unguarded-shared) test knob, harness is single-threaded
+
+class Box {
+ private:
+  // NOLINTNEXTLINE(gdisim-raw-sync) fixture primitive, inventory tracked here
+  std::atomic<int> counter_{0};
+  std::atomic<int> bare_{0};  // NOLINT(gdisim-raw-sync)
+};
+
+}  // namespace fixture

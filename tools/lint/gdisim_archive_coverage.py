@@ -57,13 +57,12 @@ Exit status: 0 when no active findings, 1 otherwise, 2 on usage error.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import re
 import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-import gdisim_lint as lint  # noqa: E402  (shared lexer + suppression logic)
+import gdisim_lint_common as common  # noqa: E402  (shared lexer/NOLINT/report)
 
 RULES = {
     "gdisim-archive-missing-field": {
@@ -201,7 +200,7 @@ class ParsedFile:
         self.rel = rel
         with open(path, encoding="utf-8", errors="replace") as f:
             text = f.read()
-        self.code_lines, self.raw_lines = lint._strip_comments(text)
+        self.code_lines, self.raw_lines = common.strip_comments(text)
         self.code_text = "\n".join(self.code_lines)
         self.raw_text = "\n".join(self.raw_lines)
         self.offsets = [0]
@@ -575,7 +574,7 @@ def analyze(files: list[str], root: str) -> tuple[list[dict], dict]:
             "rule": rule,
             "message": RULES[rule]["message"] + " [" + detail + "]",
             "snippet": raw[:160],
-            "suppressed": bool(pf) and lint._line_suppressed(pf.raw_lines, line, rule),
+            "suppressed": bool(pf) and common.line_suppressed(pf.raw_lines, line, rule),
         })
 
     checked = 0
@@ -740,7 +739,7 @@ def analyze_libclang(files: list[str], root: str) -> tuple[list[dict], dict]:
                 "message": RULES["gdisim-archive-missing-field"]["message"]
                 + " [" + tname + "::" + f["name"] + "]",
                 "snippet": raw[:160],
-                "suppressed": lint._line_suppressed(
+                "suppressed": common.line_suppressed(
                     raw_lines, f["line"], "gdisim-archive-missing-field")
                 if raw_lines else False,
             })
@@ -771,10 +770,9 @@ def main(argv: list[str]) -> int:
             print(f"{rule}: {spec['message']}")
         return 0
 
-    root = args.root or os.path.dirname(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    root = args.root or common.default_root(__file__)
     paths = args.paths or ["src"]
-    files = lint.collect_sources(paths, root)
+    files = common.collect_sources(paths, root)
     if not files:
         print("gdisim_archive_coverage: no C++ sources found under",
               ", ".join(paths), file=sys.stderr)
@@ -799,32 +797,8 @@ def main(argv: list[str]) -> int:
     else:
         findings, stats = analyze(files, root)
 
-    findings.sort(key=lambda f: (f["file"], f["line"], f["rule"]))
-    active = [f for f in findings if not f["suppressed"]]
-
-    if args.json:
-        report = {
-            "version": 1,
-            "backend": backend,
-            "scanned_files": len(files),
-            "counts": {
-                "active": len(active),
-                "suppressed": len(findings) - len(active),
-            },
-            "findings": findings,
-        }
-        payload = json.dumps(report, indent=2)
-        if args.json == "-":
-            print(payload)
-        else:
-            with open(args.json, "w", encoding="utf-8") as f:
-                f.write(payload + "\n")
-
-    shown = findings if args.include_suppressed else active
-    for f in shown:
-        tag = " (suppressed)" if f["suppressed"] else ""
-        print(f"{f['file']}:{f['line']}: [{f['rule']}]{tag} {f['message']}")
-        print(f"    {f['snippet']}")
+    active = common.finish_report(findings, files, backend, args.json,
+                                  args.include_suppressed)
     print("gdisim_archive_coverage [%s]: %d files, %d snapshotable type(s), "
           "%d active finding(s), %d suppressed"
           % (backend, len(files), stats["types_checked"], len(active),

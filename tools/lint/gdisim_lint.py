@@ -50,10 +50,23 @@ Exit status: 0 when no active (unsuppressed) findings, 1 otherwise,
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import re
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import gdisim_lint_common as common  # noqa: E402
+
+# Shared machinery (tools/lint/gdisim_lint_common.py), re-exported under the
+# historical names so the sibling analyzers and any external callers keep
+# working; see that module for the lexer/suppression/report contracts.
+CXX_EXTS = common.CXX_EXTS
+collect_sources = common.collect_sources
+_NOLINT = common.NOLINT
+_suppresses = common.suppresses
+_strip_comments = common.strip_comments
+_line_suppressed = common.line_suppressed
+_nolint_reason_findings = common.nolint_reason_findings
 
 # --------------------------------------------------------------------------
 # Rules
@@ -126,77 +139,12 @@ RULES = {
     },
     "gdisim-nolint-reason": {
         # File-level rule: inspects comment text, which the line regexes
-        # never see. Findings come from _nolint_reason_findings below.
+        # never see. Findings come from common.nolint_reason_findings.
         "pattern": None,
         "file_level": True,
-        "message": "NOLINT covering gdisim rules without a reason: say why "
-        "the suppression is sound (// NOLINT(gdisim-<rule>) <reason>); this "
-        "finding cannot itself be suppressed",
+        "message": common.NOLINT_REASON_MESSAGE,
     },
 }
-
-_NOLINT = re.compile(r"NOLINT(NEXTLINE)?(?:\(([^)]*)\))?")
-
-
-def _suppresses(nolint_rules: str | None, rule: str) -> bool:
-    """True when a NOLINT rule list covers `rule` (empty list = all)."""
-    if nolint_rules is None:
-        return True
-    names = [r.strip() for r in nolint_rules.split(",")]
-    return rule in names or "gdisim-*" in names
-
-
-# --------------------------------------------------------------------------
-# Comment/string stripping (regex path)
-# --------------------------------------------------------------------------
-
-
-def _strip_comments(text: str) -> tuple[list[str], list[str]]:
-    """Return (code_lines, raw_lines) with comments and string/char literals
-    blanked out of code_lines. Line count and column positions preserved."""
-    raw_lines = text.splitlines()
-    out = []
-    in_block = False
-    for line in raw_lines:
-        buf = []
-        i, n = 0, len(line)
-        while i < n:
-            c = line[i]
-            if in_block:
-                if c == "*" and i + 1 < n and line[i + 1] == "/":
-                    in_block = False
-                    buf.append("  ")
-                    i += 2
-                else:
-                    buf.append(" ")
-                    i += 1
-            elif c == "/" and i + 1 < n and line[i + 1] == "/":
-                buf.append(" " * (n - i))
-                break
-            elif c == "/" and i + 1 < n and line[i + 1] == "*":
-                in_block = True
-                buf.append("  ")
-                i += 2
-            elif c in "\"'":
-                quote = c
-                buf.append(c)
-                i += 1
-                while i < n:
-                    if line[i] == "\\" and i + 1 < n:
-                        buf.append("  ")
-                        i += 2
-                    elif line[i] == quote:
-                        buf.append(quote)
-                        i += 1
-                        break
-                    else:
-                        buf.append(" ")
-                        i += 1
-            else:
-                buf.append(c)
-                i += 1
-        out.append("".join(buf))
-    return out, raw_lines
 
 
 def _ptr_key_names(code_lines: list[str]) -> set[str]:
@@ -372,53 +320,6 @@ def scan_file_regex(path: str, repo_rel: str) -> list[dict]:
     return findings
 
 
-def _nolint_reason_findings(raw_lines: list[str], repo_rel: str) -> list[dict]:
-    """Flag NOLINT markers that suppress gdisim rules without saying why.
-
-    A marker is in scope when its rule list is empty (bare NOLINT covers
-    everything, gdisim rules included) or names any gdisim rule. The reason
-    is whatever comment text survives once the markers themselves are
-    removed; punctuation alone does not count. Findings are always active:
-    letting a NOLINT suppress the rule that audits NOLINTs would defeat it.
-    """
-    findings = []
-    for lineno, raw in enumerate(raw_lines, start=1):
-        markers = [
-            m for m in _NOLINT.finditer(raw)
-            if m.group(2) is None
-            or any(r.strip().startswith("gdisim") for r in m.group(2).split(","))
-        ]
-        if not markers:
-            continue
-        ci = raw.find("//")
-        comment = raw[ci + 2:] if ci >= 0 else raw[markers[0].start():]
-        text = _NOLINT.sub("", comment).replace("*/", " ")
-        if re.search(r"\w", text):
-            continue
-        findings.append(
-            {
-                "file": repo_rel,
-                "line": lineno,
-                "rule": "gdisim-nolint-reason",
-                "message": RULES["gdisim-nolint-reason"]["message"],
-                "snippet": raw.strip()[:160],
-                "suppressed": False,
-            }
-        )
-    return findings
-
-
-def _line_suppressed(raw_lines: list[str], lineno: int, rule: str) -> bool:
-    m = _NOLINT.search(raw_lines[lineno - 1])
-    if m and not m.group(1) and _suppresses(m.group(2), rule):
-        return True
-    if lineno >= 2:
-        m = _NOLINT.search(raw_lines[lineno - 2])
-        if m and m.group(1) and _suppresses(m.group(2), rule):
-            return True
-    return False
-
-
 def scan_file_libclang(path: str, repo_rel: str, index) -> list[dict]:
     """AST-assisted pass: walks range-for statements and checks whether the
     range expression's type is a pointer-keyed unordered container, then
@@ -477,22 +378,6 @@ def scan_file_libclang(path: str, repo_rel: str, index) -> list[dict]:
 # Driver
 # --------------------------------------------------------------------------
 
-CXX_EXTS = (".h", ".hpp", ".hh", ".cc", ".cpp", ".cxx")
-
-
-def collect_sources(paths: list[str], root: str) -> list[str]:
-    files = []
-    for p in paths:
-        ap = p if os.path.isabs(p) else os.path.join(root, p)
-        if os.path.isfile(ap):
-            files.append(ap)
-        else:
-            for dirpath, _dirnames, filenames in os.walk(ap):
-                for fn in sorted(filenames):
-                    if fn.endswith(CXX_EXTS):
-                        files.append(os.path.join(dirpath, fn))
-    return sorted(set(files))
-
 
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description="gdisim determinism lint")
@@ -512,8 +397,7 @@ def main(argv: list[str]) -> int:
             print(f"{rule}: {spec['message']}")
         return 0
 
-    root = args.root or os.path.dirname(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    root = args.root or common.default_root(__file__)
     paths = args.paths or ["src"]
     files = collect_sources(paths, root)
     if not files:
@@ -542,32 +426,8 @@ def main(argv: list[str]) -> int:
         else:
             findings.extend(scan_file_regex(path, rel))
 
-    findings.sort(key=lambda f: (f["file"], f["line"], f["rule"]))
-    active = [f for f in findings if not f["suppressed"]]
-
-    if args.json:
-        report = {
-            "version": 1,
-            "backend": backend,
-            "scanned_files": len(files),
-            "counts": {
-                "active": len(active),
-                "suppressed": len(findings) - len(active),
-            },
-            "findings": findings,
-        }
-        payload = json.dumps(report, indent=2)
-        if args.json == "-":
-            print(payload)
-        else:
-            with open(args.json, "w", encoding="utf-8") as f:
-                f.write(payload + "\n")
-
-    shown = findings if args.include_suppressed else active
-    for f in shown:
-        tag = " (suppressed)" if f["suppressed"] else ""
-        print(f"{f['file']}:{f['line']}: [{f['rule']}]{tag} {f['message']}")
-        print(f"    {f['snippet']}")
+    active = common.finish_report(findings, files, backend, args.json,
+                                  args.include_suppressed)
     summary = (f"gdisim_lint [{backend}]: {len(files)} files, "
                f"{len(active)} active finding(s), "
                f"{len(findings) - len(active)} suppressed")

@@ -1,0 +1,259 @@
+#!/usr/bin/env python3
+"""Shared machinery for the gdisim static analyzers.
+
+Three analyzers scan the C++ tree — the determinism lint
+(``gdisim_lint.py``), the snapshot-coverage analyzer
+(``gdisim_archive_coverage.py``) and the concurrency-isolation analyzer
+(``gdisim_isolation.py``). They share, through this module:
+
+  * the comment/string-stripping lexer (``strip_comments``) — the regex
+    backends all operate on code with comments and literals blanked out,
+    positions preserved, so a banned token inside a string never fires;
+  * the NOLINT suppression protocol (``line_suppressed``,
+    ``nolint_reason_findings``) — ``// NOLINT(gdisim-<rule>) <reason>`` on
+    the finding line or ``// NOLINTNEXTLINE(...)`` above it, reason text
+    mandatory for gdisim-scoped markers;
+  * small lexical helpers (balanced-delimiter scanning, template-argument
+    stripping, offset→line mapping) used by the body parsers;
+  * source collection and the JSON report contract (top-level keys
+    ``version/backend/scanned_files/counts/findings``, per-finding keys
+    ``file/line/rule/message/snippet/suppressed``) that the lint self-tests
+    pin.
+
+Behaviour here is covered indirectly by all three self-tests in
+``tests/lint/``; a change that alters finding lines, suppression semantics
+or the JSON schema fails them.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+CXX_EXTS = (".h", ".hpp", ".hh", ".cc", ".cpp", ".cxx")
+
+NOLINT = re.compile(r"NOLINT(NEXTLINE)?(?:\(([^)]*)\))?")
+
+NOLINT_REASON_RULE = "gdisim-nolint-reason"
+NOLINT_REASON_MESSAGE = (
+    "NOLINT covering gdisim rules without a reason: say why "
+    "the suppression is sound (// NOLINT(gdisim-<rule>) <reason>); this "
+    "finding cannot itself be suppressed")
+
+
+def suppresses(nolint_rules: str | None, rule: str) -> bool:
+    """True when a NOLINT rule list covers `rule` (empty list = all)."""
+    if nolint_rules is None:
+        return True
+    names = [r.strip() for r in nolint_rules.split(",")]
+    return rule in names or "gdisim-*" in names
+
+
+def line_suppressed(raw_lines: list[str], lineno: int, rule: str) -> bool:
+    """Whether `rule` at `lineno` (1-based) is suppressed by a same-line
+    NOLINT or a NOLINTNEXTLINE on the line above."""
+    m = NOLINT.search(raw_lines[lineno - 1])
+    if m and not m.group(1) and suppresses(m.group(2), rule):
+        return True
+    if lineno >= 2:
+        m = NOLINT.search(raw_lines[lineno - 2])
+        if m and m.group(1) and suppresses(m.group(2), rule):
+            return True
+    return False
+
+
+def nolint_reason_findings(raw_lines: list[str], repo_rel: str) -> list[dict]:
+    """Flag NOLINT markers that suppress gdisim rules without saying why.
+
+    A marker is in scope when its rule list is empty (bare NOLINT covers
+    everything, gdisim rules included) or names any gdisim rule. The reason
+    is whatever comment text survives once the markers themselves are
+    removed; punctuation alone does not count. Findings are always active:
+    letting a NOLINT suppress the rule that audits NOLINTs would defeat it.
+    """
+    findings = []
+    for lineno, raw in enumerate(raw_lines, start=1):
+        markers = [
+            m for m in NOLINT.finditer(raw)
+            if m.group(2) is None
+            or any(r.strip().startswith("gdisim") for r in m.group(2).split(","))
+        ]
+        if not markers:
+            continue
+        ci = raw.find("//")
+        comment = raw[ci + 2:] if ci >= 0 else raw[markers[0].start():]
+        text = NOLINT.sub("", comment).replace("*/", " ")
+        if re.search(r"\w", text):
+            continue
+        findings.append(
+            {
+                "file": repo_rel,
+                "line": lineno,
+                "rule": NOLINT_REASON_RULE,
+                "message": NOLINT_REASON_MESSAGE,
+                "snippet": raw.strip()[:160],
+                "suppressed": False,
+            }
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Comment/string stripping
+# --------------------------------------------------------------------------
+
+
+def strip_comments(text: str) -> tuple[list[str], list[str]]:
+    """Return (code_lines, raw_lines) with comments and string/char literals
+    blanked out of code_lines. Line count and column positions preserved."""
+    raw_lines = text.splitlines()
+    out = []
+    in_block = False
+    for line in raw_lines:
+        buf = []
+        i, n = 0, len(line)
+        while i < n:
+            c = line[i]
+            if in_block:
+                if c == "*" and i + 1 < n and line[i + 1] == "/":
+                    in_block = False
+                    buf.append("  ")
+                    i += 2
+                else:
+                    buf.append(" ")
+                    i += 1
+            elif c == "/" and i + 1 < n and line[i + 1] == "/":
+                buf.append(" " * (n - i))
+                break
+            elif c == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block = True
+                buf.append("  ")
+                i += 2
+            elif c in "\"'":
+                quote = c
+                buf.append(c)
+                i += 1
+                while i < n:
+                    if line[i] == "\\" and i + 1 < n:
+                        buf.append("  ")
+                        i += 2
+                    elif line[i] == quote:
+                        buf.append(quote)
+                        i += 1
+                        break
+                    else:
+                        buf.append(" ")
+                        i += 1
+            else:
+                buf.append(c)
+                i += 1
+        out.append("".join(buf))
+    return out, raw_lines
+
+
+# --------------------------------------------------------------------------
+# Small lexical helpers
+# --------------------------------------------------------------------------
+
+
+def strip_angles(s: str) -> str:
+    """Remove balanced <...> template-argument regions (handles nesting)."""
+    out = []
+    depth = 0
+    for ch in s:
+        if ch == "<":
+            depth += 1
+        elif ch == ">" and depth > 0:
+            depth -= 1
+        elif depth == 0:
+            out.append(ch)
+    return "".join(out)
+
+
+def balanced(text: str, start: int, open_ch: str = "(", close_ch: str = ")") -> int:
+    """Given text[start] == open_ch, return index one past the matching
+    close_ch, or -1 when unbalanced."""
+    depth = 0
+    for i in range(start, len(text)):
+        c = text[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def line_of(offsets: list[int], pos: int) -> int:
+    """1-based line number for a character offset (offsets = line starts)."""
+    lo, hi = 0, len(offsets) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if offsets[mid] <= pos:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo + 1
+
+
+# --------------------------------------------------------------------------
+# Source collection + report contract
+# --------------------------------------------------------------------------
+
+
+def collect_sources(paths: list[str], root: str) -> list[str]:
+    import os
+
+    files = []
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(ap):
+            files.append(ap)
+        else:
+            for dirpath, _dirnames, filenames in os.walk(ap):
+                for fn in sorted(filenames):
+                    if fn.endswith(CXX_EXTS):
+                        files.append(os.path.join(dirpath, fn))
+    return sorted(set(files))
+
+
+def default_root(tool_file: str) -> str:
+    """Repo root assuming the tool lives at <root>/tools/lint/<tool>.py."""
+    import os
+
+    return os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(tool_file))))
+
+
+def finish_report(findings: list[dict], files: list[str], backend: str,
+                  json_dest: str | None, include_suppressed: bool) -> list[dict]:
+    """Shared CLI tail: sort findings, write the JSON report, print the
+    human-readable listing. Returns the active (unsuppressed) findings; the
+    caller prints its own stderr summary and derives the exit status."""
+    findings.sort(key=lambda f: (f["file"], f["line"], f["rule"]))
+    active = [f for f in findings if not f["suppressed"]]
+
+    if json_dest:
+        report = {
+            "version": 1,
+            "backend": backend,
+            "scanned_files": len(files),
+            "counts": {
+                "active": len(active),
+                "suppressed": len(findings) - len(active),
+            },
+            "findings": findings,
+        }
+        payload = json.dumps(report, indent=2)
+        if json_dest == "-":
+            print(payload)
+        else:
+            with open(json_dest, "w", encoding="utf-8") as f:
+                f.write(payload + "\n")
+
+    shown = findings if include_suppressed else active
+    for f in shown:
+        tag = " (suppressed)" if f["suppressed"] else ""
+        print(f"{f['file']}:{f['line']}: [{f['rule']}]{tag} {f['message']}")
+        print(f"    {f['snippet']}")
+    return active
